@@ -1,0 +1,154 @@
+// Accuracy ablation: functional crossbar inference quality vs precision and
+// device non-idealities. Trains an MLP on synthetic MNIST in float, then
+// evaluates it through crossbars while sweeping input bits, weight bits, and
+// conductance variation sigma — quantifying the design margin behind the
+// 16-bit-weight / 8-bit-input operating point.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/functional.hpp"
+#include "device/reliability.hpp"
+#include "nn/trainer.hpp"
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+struct TrainedModel {
+  nn::Sequential net;
+  workload::Dataset test;
+  double float_acc = 0.0;
+};
+
+TrainedModel train_reference() {
+  TrainedModel m;
+  Rng rng(900);
+  m.net = workload::make_mlp_mnist(rng);
+  nn::Sgd opt(m.net.params(), 0.05f, 0.9f);
+  nn::Trainer trainer(m.net, opt);
+  Rng data_rng(901);
+  // A harder variant of the MNIST-like task (heavier noise) so the float
+  // reference sits below 100% and precision effects are visible.
+  workload::DatasetConfig dc;
+  dc.noise = 1.1f;
+  const auto train = workload::make_classification(512, dc, data_rng);
+  m.test = workload::make_classification(256, dc, data_rng);
+  for (int epoch = 0; epoch < 5; ++epoch)
+    trainer.train_epoch(train.images, train.labels, 32, rng);
+  nn::Trainer eval(m.net, opt);
+  m.float_acc = eval.evaluate(m.test.images, m.test.labels, 64).accuracy;
+  return m;
+}
+
+double xbar_accuracy(TrainedModel& m, std::size_t weight_bits,
+                     std::size_t input_bits, double sigma) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  cfg.weight_bits = weight_bits;
+  cfg.input_bits = input_bits;
+  // Bit-slicing needs weight_bits to be a multiple of the cell precision.
+  cfg.chip.cell.bits_per_cell = std::min<std::size_t>(4, weight_bits);
+  device::VariationParams vp;
+  vp.sigma = sigma;
+  device::VariationModel vm(vp, Rng(902));
+  core::CrossbarExecutor exec(m.net, cfg, sigma > 0.0 ? &vm : nullptr);
+  nn::Sgd opt(m.net.params(), 0.0f);
+  nn::Trainer eval(m.net, opt);
+  return eval.evaluate(m.test.images, m.test.labels, 64).accuracy;
+}
+
+void print_precision_sweep(TrainedModel& m) {
+  TablePrinter table({"weight bits", "input bits", "accuracy", "float ref"});
+  const struct {
+    std::size_t wb, ib;
+  } points[] = {{16, 8}, {16, 4}, {16, 2}, {8, 8}, {8, 4}, {4, 8}, {4, 4}, {2, 8}};
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.wb), std::to_string(p.ib),
+                   TablePrinter::fmt(xbar_accuracy(m, p.wb, p.ib, 0.0), 4),
+                   TablePrinter::fmt(m.float_acc, 4)});
+  }
+  std::cout << "Accuracy ablation - weight / input precision (synthetic "
+               "MNIST MLP)\n";
+  table.print(std::cout);
+}
+
+void print_variation_sweep(TrainedModel& m) {
+  TablePrinter table({"variation sigma", "accuracy", "float ref"});
+  for (const double sigma : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    table.add_row({TablePrinter::fmt(sigma, 2),
+                   TablePrinter::fmt(xbar_accuracy(m, 16, 8, sigma), 4),
+                   TablePrinter::fmt(m.float_acc, 4)});
+  }
+  std::cout << "\nAccuracy ablation - conductance variation at 16b/8b\n";
+  table.print(std::cout);
+}
+
+double drifted_accuracy(TrainedModel& m, double seconds) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  core::CrossbarExecutor exec(m.net, cfg);
+  const device::RetentionModel retention(device::RetentionParams{});
+  exec.apply_drift(retention.drift_factor(seconds));
+  nn::Sgd opt(m.net.params(), 0.0f);
+  nn::Trainer eval(m.net, opt);
+  return eval.evaluate(m.test.images, m.test.labels, 64).accuracy;
+}
+
+void print_retention_sweep(TrainedModel& m) {
+  TablePrinter table({"time since programming", "drift factor", "accuracy"});
+  const device::RetentionModel retention(device::RetentionParams{});
+  const struct {
+    const char* label;
+    double seconds;
+  } points[] = {{"fresh", 0.0},       {"1 minute", 60.0},
+                {"1 hour", 3600.0},   {"1 day", 86400.0},
+                {"1 month", 2.6e6},   {"1 year", 3.15e7}};
+  for (const auto& pt : points) {
+    table.add_row({pt.label,
+                   TablePrinter::fmt(retention.drift_factor(pt.seconds), 4),
+                   TablePrinter::fmt(drifted_accuracy(m, pt.seconds), 4)});
+  }
+  std::cout << "\nAccuracy ablation - retention drift between reprograms\n";
+  table.print(std::cout);
+}
+
+void print_endurance_table() {
+  // Each batch's update cycle reprograms the cells once: larger batches
+  // stretch the cell write budget over more training samples.
+  TablePrinter table({"batch size", "update cycles/s", "cell lifetime"});
+  const device::EnduranceModel endurance(device::EnduranceParams{1e9});
+  const double samples_per_second = 1e6;  // PipeLayer-class throughput
+  for (const std::size_t batch : {1u, 8u, 64u, 512u}) {
+    const double rate = samples_per_second / static_cast<double>(batch);
+    const double days = endurance.training_lifetime_seconds(rate) / 86400.0;
+    table.add_row({std::to_string(batch), TablePrinter::fmt(rate, 0),
+                   TablePrinter::fmt(days, 1) + " days"});
+  }
+  std::cout << "\nEndurance - batch-accumulated updates extend cell life\n";
+  table.print(std::cout);
+}
+
+void BM_XbarEvaluate(benchmark::State& state) {
+  static TrainedModel m = train_reference();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(xbar_accuracy(m, 16, 8, 0.0));
+}
+BENCHMARK(BM_XbarEvaluate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TrainedModel m = train_reference();
+  print_precision_sweep(m);
+  print_variation_sweep(m);
+  print_retention_sweep(m);
+  print_endurance_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Hardware ablation (Figs. 6/10 implementation choices): array size and
+// cell precision. Sweeps crossbar dimensions {64, 128, 256} and bits/cell
+// {1, 2, 4} for AlexNet training, reporting arrays, stage steps, area and
+// energy — the design-space the morphable-subarray organization spans.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "circuit/adc.hpp"
+#include "core/pipelayer.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+void print_array_size_sweep() {
+  TablePrinter table({"array", "stage steps", "arrays", "area mm2", "us/img",
+                      "mJ/img"});
+  const auto net = workload::spec_alexnet();
+  const std::size_t n = 640, batch = 64;
+  for (const std::size_t a : {64u, 128u, 256u}) {
+    core::AcceleratorConfig cfg;
+    cfg.chip = arch::pipelayer_chip();
+    cfg.chip.array_rows = cfg.chip.array_cols = a;
+    // Keep the silicon budget constant: smaller arrays -> more of them.
+    cfg.max_arrays = 16384u * (128u * 128u) / (a * a);
+    cfg.chip.costs.array_area_mm2 *= static_cast<double>(a * a) / (128.0 * 128.0);
+    const core::PipeLayerAccelerator accel(net, cfg);
+    const core::TimingReport r = accel.training_report(n, batch);
+    table.add_row({std::to_string(a) + "x" + std::to_string(a),
+                   std::to_string(r.stage_steps), std::to_string(r.arrays_used),
+                   TablePrinter::fmt(r.area_mm2, 1),
+                   TablePrinter::fmt(r.time_s / n * 1e6, 2),
+                   TablePrinter::fmt(r.energy_j / n * 1e3, 3)});
+  }
+  std::cout << "Hardware ablation - crossbar array size (AlexNet training, "
+               "constant silicon budget)\n";
+  table.print(std::cout);
+}
+
+void print_cell_precision_sweep() {
+  TablePrinter table({"bits/cell", "cells/weight", "update mJ/batch",
+                      "mJ/img total"});
+  const auto net = workload::spec_alexnet();
+  const std::size_t n = 640, batch = 64;
+  for (const std::size_t bpc : {1u, 2u, 4u}) {
+    core::AcceleratorConfig cfg;
+    cfg.chip = arch::pipelayer_chip();
+    cfg.chip.cell.bits_per_cell = bpc;
+    const core::PipeLayerAccelerator accel(net, cfg);
+    const auto meter = accel.training_energy_breakdown(n, batch);
+    const core::TimingReport r = accel.training_report(n, batch);
+    const double update_mj_per_batch =
+        meter.component_pj("update") * 1e-9 / (static_cast<double>(n) / batch);
+    table.add_row({std::to_string(bpc),
+                   std::to_string(2 * (16 / bpc)),  // both polarities
+                   TablePrinter::fmt(update_mj_per_batch, 3),
+                   TablePrinter::fmt(r.energy_j / n * 1e3, 3)});
+  }
+  std::cout << "\nHardware ablation - cell precision vs update cost "
+               "(16-bit weights, bit-sliced)\n";
+  table.print(std::cout);
+}
+
+void print_energy_breakdown() {
+  TablePrinter table({"component", "mlp-mnist-a (uJ/img)", "alexnet (uJ/img)"});
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::PipeLayerAccelerator mlp(workload::spec_mlp_mnist_a(), cfg);
+  const core::PipeLayerAccelerator alex(workload::spec_alexnet(), cfg);
+  const auto m1 = mlp.training_energy_breakdown(6400, 64);
+  const auto m2 = alex.training_energy_breakdown(640, 64);
+  for (const char* comp : {"compute", "memory", "activation", "update", "static"}) {
+    table.add_row({comp,
+                   TablePrinter::fmt(m1.component_pj(comp) * 1e-6 / 6400, 3),
+                   TablePrinter::fmt(m2.component_pj(comp) * 1e-6 / 640, 3)});
+  }
+  std::cout << "\nTraining energy breakdown per component\n";
+  table.print(std::cout);
+}
+
+void print_conversion_schemes() {
+  TablePrinter table({"scheme", "input bits", "energy pJ/MVM", "latency ns",
+                      "area mm2 (peripherals)"});
+  const device::CellParams cell;
+  for (const std::size_t bits : {4u, 8u, 16u}) {
+    const auto spike = circuit::spike_scheme_costs(128, 128, bits, cell);
+    table.add_row({"weighted spikes + I&F", std::to_string(bits),
+                   TablePrinter::fmt(spike.energy_pj, 1),
+                   TablePrinter::fmt(spike.latency_ns, 1),
+                   TablePrinter::fmt(spike.area_mm2, 5)});
+    const auto adc = circuit::adc_scheme_costs(128, 128, bits,
+                                               circuit::AdcParams{},
+                                               circuit::DacParams{});
+    table.add_row({"DAC + shared SAR ADC", std::to_string(bits),
+                   TablePrinter::fmt(adc.energy_pj, 1),
+                   TablePrinter::fmt(adc.latency_ns, 1),
+                   TablePrinter::fmt(adc.area_mm2, 5)});
+  }
+  std::cout << "\nConversion-scheme ablation (128x128 array, per MVM)\n"
+            << "paper: the weighted spike coding scheme is adopted 'to "
+               "further reduce the area and energy overhead'\n";
+  table.print(std::cout);
+}
+
+void BM_BreakdownComputation(benchmark::State& state) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::PipeLayerAccelerator accel(workload::spec_alexnet(), cfg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(accel.training_energy_breakdown(640, 64).total_pj());
+}
+BENCHMARK(BM_BreakdownComputation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_array_size_sweep();
+  print_cell_precision_sweep();
+  print_energy_breakdown();
+  print_conversion_schemes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Inter-layer parallelism ablation: the same PipeLayer hardware with the
+// training pipeline enabled ((N/B)(2L+B+1) cycles) vs disabled ((2L+1)N +
+// N/B cycles) — the architectural contribution behind Fig. 5. Work (and
+// hence dynamic energy) is identical; only the schedule changes, so the
+// pipeline buys throughput at the same energy and better energy-delay.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/pipelayer.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+void print_ablation() {
+  TablePrinter table({"workload", "L", "B", "pipelined us/img",
+                      "sequential us/img", "speedup", "energy ratio"});
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const std::size_t n = 6400;
+  for (const auto& net :
+       {workload::spec_mlp_mnist_a(), workload::spec_lenet5(),
+        workload::spec_alexnet(), workload::spec_vgg_a()}) {
+    const core::PipeLayerAccelerator accel(net, cfg);
+    for (const std::size_t batch : {16u, 64u}) {
+      const core::TimingReport pipe = accel.training_report(n, batch);
+      const core::TimingReport seq = accel.training_report_sequential(n, batch);
+      table.add_row(
+          {net.name, std::to_string(accel.pipeline_depth()),
+           std::to_string(batch),
+           TablePrinter::fmt(pipe.time_s / n * 1e6, 3),
+           TablePrinter::fmt(seq.time_s / n * 1e6, 3),
+           TablePrinter::fmt_times(seq.time_s / pipe.time_s),
+           TablePrinter::fmt_times(seq.energy_j / pipe.energy_j)});
+    }
+  }
+  std::cout << "Inter-layer pipeline ablation (same hardware, training)\n"
+            << "paper: within a batch a new input enters every cycle; the "
+               "speedup approaches 2L+1 for large batches\n";
+  table.print(std::cout);
+}
+
+void print_inference_ablation() {
+  TablePrinter table({"workload", "L", "pipelined us/img",
+                      "sequential us/img", "speedup"});
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const std::size_t n = 6400;
+  for (const auto& net :
+       {workload::spec_mlp_mnist_b(), workload::spec_vgg_d()}) {
+    const core::PipeLayerAccelerator accel(net, cfg);
+    const core::TimingReport pipe = accel.inference_report(n);
+    const core::TimingReport seq = accel.inference_report_sequential(n);
+    table.add_row({net.name, std::to_string(accel.pipeline_depth()),
+                   TablePrinter::fmt(pipe.time_s / n * 1e6, 3),
+                   TablePrinter::fmt(seq.time_s / n * 1e6, 3),
+                   TablePrinter::fmt_times(seq.time_s / pipe.time_s)});
+  }
+  std::cout << "\nInference (testing-phase) pipeline ablation\n";
+  table.print(std::cout);
+}
+
+void BM_SequentialReport(benchmark::State& state) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::PipeLayerAccelerator accel(workload::spec_vgg_a(), cfg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        accel.training_report_sequential(6400, 64).time_s);
+}
+BENCHMARK(BM_SequentialReport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  print_inference_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

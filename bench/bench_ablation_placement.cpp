@@ -1,0 +1,65 @@
+// Layer-to-bank placement ablation: the bank organization of Fig. 6 only
+// sustains the inter-layer pipeline if consecutive layers' banks are close —
+// this bench quantifies the interconnect traffic of the snake placement vs a
+// maximally scattered one over the chip's 2-D mesh.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/placement.hpp"
+#include "common/table.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+void print_placement_ablation() {
+  TablePrinter table({"network", "placement", "banks used", "total hops",
+                      "transfer us/img", "transfer uJ/img"});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::MeshNoc noc = arch::make_mesh_for_banks(chip.banks);
+  for (const auto& net : {workload::spec_alexnet(), workload::spec_vgg_a(),
+                          workload::spec_vgg_d()}) {
+    const auto mapping = mapping::plan_under_budget(
+        net, {chip.array_rows, chip.array_cols}, chip.total_compute_arrays());
+    const struct {
+      const char* name;
+      arch::Placement p;
+    } variants[] = {
+        {"snake (chained)", arch::place_snake(mapping, chip, noc)},
+        {"scattered", arch::place_scattered(mapping, chip, noc)}};
+    for (const auto& v : variants) {
+      const auto cost = arch::evaluate_placement(v.p, mapping, noc);
+      table.add_row({net.name, v.name, std::to_string(cost.banks_used),
+                     std::to_string(cost.total_hops),
+                     TablePrinter::fmt(cost.transfer_ns_per_sample / 1e3, 3),
+                     TablePrinter::fmt(cost.transfer_pj_per_sample / 1e6, 3)});
+    }
+  }
+  std::cout << "Layer-to-bank placement ablation (" << noc.rows() << "x"
+            << noc.cols() << " mesh, " << chip.banks << " banks)\n";
+  table.print(std::cout);
+}
+
+void BM_SnakePlacement(benchmark::State& state) {
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::MeshNoc noc = arch::make_mesh_for_banks(chip.banks);
+  const auto mapping = mapping::plan_under_budget(
+      workload::spec_vgg_d(), {128, 128}, chip.total_compute_arrays());
+  for (auto _ : state) {
+    const auto p = arch::place_snake(mapping, chip, noc);
+    benchmark::DoNotOptimize(p.bank.data());
+  }
+}
+BENCHMARK(BM_SnakePlacement);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_placement_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

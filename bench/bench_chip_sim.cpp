@@ -1,0 +1,61 @@
+// Executable chip-level cross-check: lower each network onto live bank
+// controllers (arch/chip_sim) and compare the measured per-bank execution
+// against the analytic accelerator model — the instruction-level view of the
+// same hardware the closed-form reports cost.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/chip_sim.hpp"
+#include "common/table.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+void print_chip_runs() {
+  TablePrinter table({"network", "banks", "instructions", "critical bank us",
+                      "noc us", "latency us", "noc uJ"});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  for (const auto& net : {workload::spec_mlp_mnist_c(), workload::spec_lenet5(),
+                          workload::spec_alexnet(), workload::spec_vgg_a()}) {
+    const auto mapping = mapping::plan_under_budget(
+        net, {chip.array_rows, chip.array_cols}, chip.total_compute_arrays());
+    const arch::MeshNoc noc = arch::make_mesh_for_banks(chip.banks);
+    arch::ChipSimulator sim(chip, mapping,
+                            arch::place_snake(mapping, chip, noc));
+    const arch::ChipRunReport r = sim.run_forward_pass();
+    table.add_row({net.name, std::to_string(r.banks_used),
+                   std::to_string(r.instructions),
+                   TablePrinter::fmt(r.critical_bank_ns / 1e3, 2),
+                   TablePrinter::fmt(r.noc_ns / 1e3, 2),
+                   TablePrinter::fmt(r.latency_ns() / 1e3, 2),
+                   TablePrinter::fmt(r.energy.component_pj("noc") / 1e6, 3)});
+  }
+  std::cout << "Chip-level execution (lowered ISA programs on live bank "
+               "controllers, one forward pass)\n";
+  table.print(std::cout);
+}
+
+void BM_ChipForwardPass(benchmark::State& state) {
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const auto mapping = mapping::plan_under_budget(
+      workload::spec_alexnet(), {128, 128}, chip.total_compute_arrays());
+  const arch::MeshNoc noc = arch::make_mesh_for_banks(chip.banks);
+  arch::ChipSimulator sim(chip, mapping,
+                          arch::place_snake(mapping, chip, noc));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.run_forward_pass().latency_ns());
+}
+BENCHMARK(BM_ChipForwardPass);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_chip_runs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

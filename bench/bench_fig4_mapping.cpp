@@ -1,0 +1,80 @@
+// Fig. 4: data input and kernel mapping — the naive scheme vs the balanced
+// scheme, and the replication trade-off X. Reproduces the paper's running
+// example (114x114x128 -> 112x112x256 conv, 3x3 kernels, 128x128 arrays):
+// 12544 cycles naive, 18 arrays; X = 256 cuts cycles to 49; X = 12544
+// produces the layer in one cycle at excessive cost.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+nn::LayerSpec fig4_layer() {
+  nn::NetworkSpecBuilder b("fig4", 128, 114, 114);
+  b.conv(256, 3);
+  return std::move(b).build().layers[0];
+}
+
+void print_replication_sweep() {
+  const mapping::MappingConfig cfg{128, 128};
+  const nn::LayerSpec layer = fig4_layer();
+  TablePrinter table(
+      {"X (replication)", "steps/sample", "arrays", "weight cells"});
+  for (const std::size_t x :
+       {1u, 2u, 4u, 16u, 64u, 256u, 1024u, 4096u, 12544u}) {
+    const mapping::LayerMapping m = mapping::map_layer(layer, cfg, x);
+    table.add_row({std::to_string(x), std::to_string(m.steps_per_sample()),
+                   std::to_string(m.arrays()),
+                   std::to_string(m.weight_cells())});
+  }
+  std::cout << "Fig. 4 - replication trade-off for the 1152x256 conv layer\n"
+            << "paper: naive (X=1) takes 12544 cycles on 18 arrays; X=12544 "
+               "yields 1 cycle at excessive cost; the example uses X=256\n";
+  table.print(std::cout);
+}
+
+void print_network_plans() {
+  const mapping::MappingConfig cfg{128, 128};
+  TablePrinter table({"network", "plan", "stage steps", "arrays"});
+  for (const auto& net : {workload::spec_lenet5(), workload::spec_alexnet(),
+                          workload::spec_vgg_a()}) {
+    const auto naive = mapping::plan_naive(net, cfg);
+    table.add_row({net.name, "naive (Fig. 4a)",
+                   std::to_string(naive.stage_steps()),
+                   std::to_string(naive.total_arrays())});
+    // 16384 arrays = the PipeLayer chip's morphable capacity (arch module).
+    const auto balanced = mapping::plan_under_budget(net, cfg, 16384);
+    table.add_row({net.name, "balanced (Fig. 4b)",
+                   std::to_string(balanced.stage_steps()),
+                   std::to_string(balanced.total_arrays())});
+  }
+  std::cout << "\nNaive vs balanced plans under the PipeLayer chip budget\n";
+  table.print(std::cout);
+}
+
+void BM_PlanUnderBudget(benchmark::State& state) {
+  const auto net = workload::spec_vgg_a();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping::plan_under_budget(net, {128, 128},
+                                   static_cast<std::size_t>(state.range(0)))
+            .total_arrays());
+  }
+}
+BENCHMARK(BM_PlanUnderBudget)->Arg(1024)->Arg(8192)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_replication_sweep();
+  print_network_plans();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 5: the inter-layer training pipeline. Regenerates the cycle counts of
+// the pipelined schedule, (N/B)(2L+B+1), against the sequential schedule,
+// (2L+1)N + N/B, across layer depths and batch sizes, cross-checked with the
+// event-driven simulator, and prints the pipeline occupancy diagram for the
+// paper's 3-layer example.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "pipeline/analytic.hpp"
+#include "pipeline/sim.hpp"
+
+namespace {
+
+using namespace reramdl;
+using namespace reramdl::pipeline;
+
+void print_cycle_table() {
+  TablePrinter table({"L", "B", "N", "sequential", "pipelined (sim)",
+                      "pipelined (formula)", "speedup"});
+  const std::uint64_t n = 4096;
+  for (const std::uint64_t l : {3u, 5u, 8u, 11u, 16u}) {
+    for (const std::uint64_t b : {8u, 32u, 64u, 128u}) {
+      const auto seq = pipelayer_train_cycles_sequential(n, l, b);
+      const auto pipe = pipelayer_train_cycles_pipelined(n, l, b);
+      const auto sim = sim_pipelayer_training(n, l, b).cycles;
+      RERAMDL_CHECK_EQ(sim, pipe);
+      table.add_row({std::to_string(l), std::to_string(b), std::to_string(n),
+                     std::to_string(seq), std::to_string(sim),
+                     std::to_string(pipe),
+                     TablePrinter::fmt_times(static_cast<double>(seq) /
+                                             static_cast<double>(pipe))});
+    }
+  }
+  std::cout << "Fig. 5 - inter-layer training pipeline cycles\n"
+            << "paper: pipelined batch needs 2L+B+1 cycles; a new input "
+               "enters every cycle within a batch\n";
+  table.print(std::cout);
+}
+
+void print_gantt() {
+  // The paper's Fig. 5(b) visualization: a 3-layer network, batch of 4.
+  const SimResult r = sim_pipelayer_training(4, 3, 4, /*want_trace=*/true);
+  std::cout << "\nPipeline occupancy (L=3, B=4; F=forward stages, D=backward,"
+               " U=weight update; digits are inputs):\n"
+            << r.gantt;
+}
+
+void BM_EventSim(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim_pipelayer_training(n, 8, 64).cycles);
+}
+BENCHMARK(BM_EventSim)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ClosedForm(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pipelayer_train_cycles_pipelined(16384, 8, 64));
+}
+BENCHMARK(BM_ClosedForm);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cycle_table();
+  print_gantt();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig. 7: the fractional-strided convolution (FCNN). Demonstrates that the
+// forward pass equals an ordinary convolution over the zero-inserted input
+// (Fig. 7a) and benchmarks the functional forward / backward passes of the
+// DCGAN generator's tconv layers.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/transposed_conv2d.hpp"
+#include "tensor/im2col.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+// Direct check: TransposedConv2D(x) == Conv2D(zero_insert(x)) with the same
+// flattened kernel and pad' = k - 1 - pad.
+double max_equivalence_error(std::size_t in_c, std::size_t hw, std::size_t out_c,
+                             std::size_t k, std::size_t stride, std::size_t pad) {
+  Rng rng(42);
+  nn::TransposedConv2D tconv(in_c, hw, hw, out_c, k, stride, pad, rng);
+  const Tensor x = Tensor::normal(Shape{2, in_c, hw, hw}, rng, 0.0f, 1.0f);
+  const Tensor y_tconv = tconv.forward(x, false);
+
+  const Tensor dilated = zero_insert(x, stride);
+  nn::Conv2D conv(in_c, dilated.shape()[2], dilated.shape()[3], out_c, k, 1,
+                  k - 1 - pad, rng);
+  conv.weights() = tconv.weights();
+  conv.bias() = tconv.bias();
+  const Tensor y_conv = conv.forward(dilated, false);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < y_tconv.numel(); ++i)
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(y_tconv[i]) - y_conv[i]));
+  return worst;
+}
+
+void print_equivalence() {
+  TablePrinter table({"layer (in -> out)", "kernel", "stride", "pad",
+                      "max |tconv - conv(zero-insert)|"});
+  struct Case {
+    std::size_t in_c, hw, out_c, k, stride, pad;
+  };
+  for (const Case& c : {Case{64, 7, 32, 4, 2, 1}, Case{128, 8, 64, 4, 2, 1},
+                        Case{32, 16, 16, 4, 2, 1}, Case{16, 5, 8, 3, 3, 0},
+                        Case{8, 9, 4, 5, 2, 2}}) {
+    const double err =
+        max_equivalence_error(c.in_c, c.hw, c.out_c, c.k, c.stride, c.pad);
+    const std::size_t out_hw = (c.hw - 1) * c.stride + c.k - 2 * c.pad;
+    table.add_row({std::to_string(c.in_c) + "x" + std::to_string(c.hw) + "^2 -> " +
+                       std::to_string(c.out_c) + "x" + std::to_string(out_hw) + "^2",
+                   std::to_string(c.k), std::to_string(c.stride),
+                   std::to_string(c.pad), TablePrinter::fmt(err, 9)});
+  }
+  std::cout << "Fig. 7 - FCNN forward == convolution over zero-inserted input\n"
+            << "paper: 'the computation of a FCNN during data forwarding can "
+               "be taken the same way as a traditional convolution'\n";
+  table.print(std::cout);
+}
+
+void BM_TconvForward(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  nn::TransposedConv2D tconv(c, 8, 8, c / 2, 4, 2, 1, rng);
+  const Tensor x = Tensor::normal(Shape{8, c, 8, 8}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = tconv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TconvForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TconvBackward(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  nn::TransposedConv2D tconv(c, 8, 8, c / 2, 4, 2, 1, rng);
+  const Tensor x = Tensor::normal(Shape{8, c, 8, 8}, rng, 0.0f, 1.0f);
+  const Tensor y = tconv.forward(x, true);
+  const Tensor g = Tensor::normal(y.shape(), rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor gx = tconv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_TconvBackward)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_equivalence();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 8: the three-phase GAN training pipeline. Regenerates the per-batch
+// cycle counts — phases ① (D on real), ② (D on fake), the D update, and ③
+// (G training) — for pipelined vs unpipelined execution across network
+// shapes, cross-checked against the event simulator.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "pipeline/analytic.hpp"
+#include "pipeline/sim.hpp"
+
+namespace {
+
+using namespace reramdl;
+using namespace reramdl::pipeline;
+
+void print_phase_table() {
+  TablePrinter table({"L_D", "L_G", "B", "phase1", "phase2", "train D",
+                      "train G", "batch (pipe)", "batch (no pipe)", "speedup"});
+  for (const std::uint64_t ld : {4u, 5u, 9u}) {
+    for (const std::uint64_t lg : {4u, 5u}) {
+      for (const std::uint64_t b : {16u, 64u, 128u}) {
+        const GanShape s{ld, lg, b};
+        const auto pipe = regan_batch_cycles_pipelined(s);
+        const auto nopipe = regan_batch_cycles_unpipelined(s);
+        RERAMDL_CHECK_EQ(sim_regan_batch(s, {false, false}).cycles, pipe);
+        table.add_row(
+            {std::to_string(ld), std::to_string(lg), std::to_string(b),
+             std::to_string(regan_phase1_cycles(s)),
+             std::to_string(regan_phase2_cycles(s)),
+             std::to_string(regan_train_d_cycles(s)),
+             std::to_string(regan_train_g_cycles(s)), std::to_string(pipe),
+             std::to_string(nopipe),
+             TablePrinter::fmt_times(static_cast<double>(nopipe) /
+                                     static_cast<double>(pipe))});
+      }
+    }
+  }
+  std::cout << "Fig. 8 - GAN training pipeline cycles per batch\n"
+            << "paper: D training on real samples takes 2L_D+1+B-1 cycles, on"
+               " generated samples L_G+2L_D+1+B-1; G training takes"
+               " 2L_G+2L_D+B+1\n";
+  table.print(std::cout);
+}
+
+void print_gantt() {
+  const GanShape s{2, 2, 3};
+  const SimResult r = sim_regan_batch(s, {false, false}, /*want_trace=*/true);
+  std::cout << "\nSchedule for L_D=2, L_G=2, B=3 (r=real pass, f=fake/D pass,"
+               " g=G pass, U=updates):\n"
+            << r.gantt;
+}
+
+void BM_ReGanSim(benchmark::State& state) {
+  const GanShape s{5, 5, static_cast<std::uint64_t>(state.range(0))};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim_regan_batch(s, {false, false}).cycles);
+}
+BENCHMARK(BM_ReGanSim)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_phase_table();
+  print_gantt();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 9: pipeline optimization ablation — spatial parallelism (SP) and
+// computation sharing (CS). For each DCGAN workload, reports cycles, time,
+// arrays and energy for {baseline, SP, CS, SP+CS}, showing SP hides phase ①
+// behind ② at the cost of a duplicated D, and CS removes the redundant
+// forward pass at the cost of doubled intermediate storage.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/regan.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+core::AcceleratorConfig regan_config() {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  return cfg;
+}
+
+void print_ablation() {
+  TablePrinter table({"workload", "variant", "cycles/batch", "us/img",
+                      "arrays", "mJ/img", "speedup vs base"});
+  const std::size_t n = 6400, batch = 64;
+  for (const std::size_t size : {32u, 64u}) {
+    const core::ReGanAccelerator accel(workload::spec_dcgan_generator(size),
+                                       workload::spec_dcgan_discriminator(size),
+                                       regan_config());
+    const struct {
+      const char* name;
+      pipeline::ReGanOptions opts;
+    } variants[] = {{"baseline", {false, false}},
+                    {"SP", {true, false}},
+                    {"CS", {false, true}},
+                    {"SP+CS", {true, true}}};
+    const double base_time =
+        accel.training_report(n, batch, {false, false}).time_s;
+    for (const auto& v : variants) {
+      const core::TimingReport r = accel.training_report(n, batch, v.opts);
+      table.add_row(
+          {"dcgan-" + std::to_string(size), v.name,
+           std::to_string(r.pipeline_cycles / (n / batch)),
+           TablePrinter::fmt(r.time_s / n * 1e6, 3),
+           std::to_string(r.arrays_used),
+           TablePrinter::fmt(r.energy_j / n * 1e3, 4),
+           TablePrinter::fmt_times(base_time / r.time_s)});
+    }
+  }
+  std::cout << "Fig. 9 - spatial parallelism and computation sharing\n"
+            << "paper: SP hides phase 1's latency; CS shares the forward path"
+               " T0-T6 and forks the two loss branches at T7\n";
+  table.print(std::cout);
+}
+
+void BM_AblationSweep(benchmark::State& state) {
+  const core::ReGanAccelerator accel(workload::spec_dcgan_generator(64),
+                                     workload::spec_dcgan_discriminator(64),
+                                     regan_config());
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const bool sp : {false, true})
+      for (const bool cs : {false, true})
+        total += accel.training_report(640, 64, {sp, cs}).time_s;
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AblationSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Related-work comparison (the paper's Sec. I positioning): PRIME / ISAAC
+// accelerate inference but lack training support, so a train-then-serve
+// deployment must fall back to the GPU for training. This bench regenerates
+// that argument quantitatively for a scenario that trains on N samples and
+// then serves M inferences.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/related_work.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+void print_comparison() {
+  const baseline::GpuModel gpu(baseline::gtx1080());
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::Scenario scenario{6400, 64000, 64};
+
+  TablePrinter table({"network", "system", "train ms", "infer ms", "total ms",
+                      "total J", "vs GPU"});
+  for (const auto& net : {workload::spec_lenet5(), workload::spec_alexnet()}) {
+    const core::SystemCost gpu_only =
+        core::gpu_only_cost(net, scenario, gpu);
+    const core::SystemCost isaac =
+        core::isaac_like_cost(net, scenario, cfg, gpu);
+    const core::SystemCost pipelayer =
+        core::pipelayer_cost(net, scenario, cfg);
+    const struct {
+      const char* name;
+      const core::SystemCost& c;
+    } systems[] = {{"GPU only", gpu_only},
+                   {"ISAAC-like (GPU trains)", isaac},
+                   {"PipeLayer (trains on-chip)", pipelayer}};
+    for (const auto& s : systems) {
+      table.add_row({net.name, s.name,
+                     TablePrinter::fmt(s.c.train_time_s * 1e3, 2),
+                     TablePrinter::fmt(s.c.infer_time_s * 1e3, 2),
+                     TablePrinter::fmt(s.c.total_time_s() * 1e3, 2),
+                     TablePrinter::fmt(s.c.total_energy_j(), 3),
+                     TablePrinter::fmt_times(gpu_only.total_time_s() /
+                                             s.c.total_time_s())});
+    }
+  }
+  std::cout << "Related-work comparison: train 6400 samples, serve 64000 "
+               "inferences\n"
+            << "paper: 'deploying the complete execution of DNN on "
+               "ReRAM-based structures remains difficult due to the lacking "
+               "of support for sophisticated training'\n";
+  table.print(std::cout);
+}
+
+void BM_SystemCosts(benchmark::State& state) {
+  const baseline::GpuModel gpu(baseline::gtx1080());
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const auto net = workload::spec_alexnet();
+  const core::Scenario scenario{6400, 64000, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::isaac_like_cost(net, scenario, cfg, gpu).total_time_s());
+  }
+}
+BENCHMARK(BM_SystemCosts);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

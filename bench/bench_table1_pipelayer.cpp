@@ -1,0 +1,96 @@
+// Table I, row 1: PipeLayer vs GTX 1080 — speedup and energy saving for
+// training across the paper's benchmark mix (MNIST MLPs + ImageNet-scale
+// CNNs). The paper reports 42.45x speedup and 7.17x energy saving on
+// average; this harness regenerates the per-workload rows and the geometric
+// mean with the calibrated cost model (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baseline/gpu_model.hpp"
+#include "common/table.hpp"
+#include "core/comparison.hpp"
+#include "core/pipelayer.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+struct Workload {
+  nn::NetworkSpec net;
+  std::size_t n;      // training inputs
+  std::size_t batch;
+};
+
+std::vector<Workload> table1_workloads() {
+  return {
+      {workload::spec_mlp_mnist_a(), 6400, 64},
+      {workload::spec_mlp_mnist_b(), 6400, 64},
+      {workload::spec_mlp_mnist_c(), 6400, 64},
+      {workload::spec_lenet5(), 6400, 64},
+      {workload::spec_alexnet(), 640, 64},
+      {workload::spec_vgg_a(), 640, 64},
+      {workload::spec_vgg_d(), 640, 64},
+  };
+}
+
+core::AcceleratorConfig pipelayer_config() {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  return cfg;
+}
+
+void print_report() {
+  const baseline::GpuModel gpu(baseline::gtx1080());
+  TablePrinter table({"workload", "L", "arrays", "accel us/img", "gpu us/img",
+                      "speedup", "energy saving"});
+  std::vector<core::Comparison> rows;
+  for (const auto& w : table1_workloads()) {
+    const core::PipeLayerAccelerator accel(w.net, pipelayer_config());
+    const core::TimingReport r = accel.training_report(w.n, w.batch);
+    const baseline::GpuCost g = gpu.training_cost(w.net, w.n, w.batch);
+    const auto c = core::compare(w.net.name, r, g);
+    rows.push_back(c);
+    table.add_row({w.net.name, std::to_string(accel.pipeline_depth()),
+                   std::to_string(r.arrays_used),
+                   TablePrinter::fmt(r.time_s / w.n * 1e6, 3),
+                   TablePrinter::fmt(g.time_s / w.n * 1e6, 3),
+                   TablePrinter::fmt_times(c.speedup()),
+                   TablePrinter::fmt_times(c.energy_saving())});
+  }
+  const auto s = core::summarize(rows);
+  table.add_row({"GEOMEAN", "-", "-", "-", "-",
+                 TablePrinter::fmt_times(s.geomean_speedup),
+                 TablePrinter::fmt_times(s.geomean_energy_saving)});
+  std::cout << "Table I (row 1) - PipeLayer vs GTX 1080, training\n"
+            << "paper: 42.45x speedup, 7.17x energy saving (average)\n";
+  table.print(std::cout);
+}
+
+void BM_PipeLayerPlanning(benchmark::State& state) {
+  const auto net = workload::spec_vgg_d();
+  for (auto _ : state) {
+    core::PipeLayerAccelerator accel(net, pipelayer_config());
+    benchmark::DoNotOptimize(accel.network_mapping().total_arrays());
+  }
+}
+BENCHMARK(BM_PipeLayerPlanning);
+
+void BM_TrainingReport(benchmark::State& state) {
+  const core::PipeLayerAccelerator accel(workload::spec_alexnet(),
+                                         pipelayer_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.training_report(640, 64).energy_j);
+  }
+}
+BENCHMARK(BM_TrainingReport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table I, row 2: ReGAN vs GTX 1080 — DCGAN training on the paper's four
+// datasets (MNIST, CIFAR-10, CelebA, LSUN). The paper reports 240x speedup
+// and 94x energy saving with SP + CS enabled.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baseline/gpu_model.hpp"
+#include "common/table.hpp"
+#include "core/comparison.hpp"
+#include "core/regan.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+struct GanWorkload {
+  std::string name;
+  std::size_t image_size;
+};
+
+std::vector<GanWorkload> workloads() {
+  return {{"dcgan-mnist", 28},
+          {"dcgan-cifar10", 32},
+          {"dcgan-celeba", 64},
+          {"dcgan-lsun", 64}};
+}
+
+core::AcceleratorConfig regan_config() {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  return cfg;
+}
+
+void print_report() {
+  const baseline::GpuModel gpu(baseline::gtx1080());
+  const pipeline::ReGanOptions opts{true, true};  // SP + CS, the full design
+  TablePrinter table({"workload", "L_D", "L_G", "arrays", "accel us/img",
+                      "gpu us/img", "speedup", "energy saving"});
+  std::vector<core::Comparison> rows;
+  const std::size_t n = 6400, batch = 64;
+  for (const auto& w : workloads()) {
+    const auto g = workload::spec_dcgan_generator(w.image_size);
+    const auto d = workload::spec_dcgan_discriminator(w.image_size);
+    const core::ReGanAccelerator accel(g, d, regan_config());
+    const core::TimingReport r = accel.training_report(n, batch, opts);
+    const baseline::GpuCost cost = gpu.gan_training_cost(g, d, n, batch);
+    const auto c = core::compare(w.name, r, cost);
+    rows.push_back(c);
+    table.add_row({w.name, std::to_string(accel.l_d()),
+                   std::to_string(accel.l_g()), std::to_string(r.arrays_used),
+                   TablePrinter::fmt(r.time_s / n * 1e6, 3),
+                   TablePrinter::fmt(cost.time_s / n * 1e6, 3),
+                   TablePrinter::fmt_times(c.speedup()),
+                   TablePrinter::fmt_times(c.energy_saving())});
+  }
+  const auto s = core::summarize(rows);
+  table.add_row({"GEOMEAN", "-", "-", "-", "-", "-",
+                 TablePrinter::fmt_times(s.geomean_speedup),
+                 TablePrinter::fmt_times(s.geomean_energy_saving)});
+  std::cout << "Table I (row 2) - ReGAN (SP+CS) vs GTX 1080, GAN training\n"
+            << "paper: 240x speedup, 94x energy saving (average)\n";
+  table.print(std::cout);
+}
+
+void BM_ReGanReport(benchmark::State& state) {
+  const core::ReGanAccelerator accel(workload::spec_dcgan_generator(64),
+                                     workload::spec_dcgan_discriminator(64),
+                                     regan_config());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        accel.training_report(6400, 64, {true, true}).energy_j);
+}
+BENCHMARK(BM_ReGanReport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

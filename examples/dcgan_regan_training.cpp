@@ -1,0 +1,77 @@
+// ReGAN end-to-end scenario: train a DCGAN on synthetic image data with the
+// three-phase schedule of Fig. 8 (D on real, D on fake, G through D) with
+// computation sharing enabled, then report the accelerator's pipeline cycles
+// per batch for each optimization level and the Table-I-style comparison.
+//
+//   ./build/examples/dcgan_regan_training
+#include <cstdio>
+
+#include "baseline/gpu_model.hpp"
+#include "core/comparison.hpp"
+#include "core/regan.hpp"
+#include "nn/gan.hpp"
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+int main() {
+  using namespace reramdl;
+
+  // Functional GAN training (small DCGAN, synthetic 28x28 images).
+  Rng rng(11);
+  auto g = workload::make_dcgan_g_mnist(rng, 32);
+  auto d = workload::make_dcgan_d_mnist(rng);
+  nn::Adam opt_g(g.params(), 2e-3f, 0.5f);
+  nn::Adam opt_d(d.params(), 2e-3f, 0.5f);
+  nn::GanTrainer gan(g, d, opt_g, opt_d, /*latent=*/32,
+                     /*computation_sharing=*/true);
+
+  Rng data_rng(12);
+  const Tensor real = workload::make_gan_images(16, 1, 28, data_rng);
+  std::printf("training DCGAN with computation sharing (phases (1)(2) share "
+              "their forward pass with (3)):\n");
+  for (int step = 0; step < 6; ++step) {
+    const nn::GanStepStats s = gan.step(real, rng);
+    std::printf(
+        "  step %d: D loss %.3f/%.3f (real/fake), G loss %.3f, "
+        "D accuracy %.2f/%.2f\n",
+        step, s.d_loss_real, s.d_loss_fake, s.g_loss, s.d_acc_real,
+        s.d_acc_fake);
+  }
+  const Tensor samples = gan.sample(4, rng);
+  std::printf("generated %zu images of shape %s\n",
+              static_cast<std::size_t>(samples.shape()[0]),
+              samples.shape().to_string().c_str());
+
+  // Architectural cost of DCGAN-CelebA training per optimization level.
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  const core::ReGanAccelerator accel(workload::spec_dcgan_generator(64),
+                                     workload::spec_dcgan_discriminator(64),
+                                     cfg);
+  const std::size_t n = 6400, batch = 64;
+  std::printf("\nDCGAN-64 (CelebA shape) on ReGAN, L_D=%zu L_G=%zu B=%zu:\n",
+              accel.l_d(), accel.l_g(), batch);
+  const struct {
+    const char* name;
+    pipeline::ReGanOptions opts;
+  } variants[] = {{"no pipeline opts", {false, false}},
+                  {"spatial parallelism", {true, false}},
+                  {"computation sharing", {false, true}},
+                  {"SP + CS", {true, true}}};
+  for (const auto& v : variants) {
+    const core::TimingReport r = accel.training_report(n, batch, v.opts);
+    std::printf("  %-20s %5llu cycles/batch, %7.2f us/img, %zu arrays\n",
+                v.name,
+                static_cast<unsigned long long>(r.pipeline_cycles / (n / batch)),
+                r.time_s / n * 1e6, r.arrays_used);
+  }
+
+  const baseline::GpuModel gpu(baseline::gtx1080());
+  const auto c = core::compare(
+      "dcgan-64", accel.training_report(n, batch, {true, true}),
+      gpu.gan_training_cost(workload::spec_dcgan_generator(64),
+                            workload::spec_dcgan_discriminator(64), n, batch));
+  std::printf("vs GTX 1080: %.0fx speedup, %.0fx energy saving\n", c.speedup(),
+              c.energy_saving());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Mapping explorer: prints, for a chosen network, how each weighted layer is
+// flattened onto crossbars (Fig. 4), what the replication planner picks
+// under a given array budget, and the resulting pipeline stage balance.
+//
+//   ./build/examples/mapping_explorer [alexnet|vgg-a|vgg-d|lenet|mlp] [budget]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reramdl;
+
+  const std::string which = argc > 1 ? argv[1] : "alexnet";
+  const std::size_t budget =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 16384;
+
+  nn::NetworkSpec net;
+  if (which == "alexnet") net = workload::spec_alexnet();
+  else if (which == "vgg-a") net = workload::spec_vgg_a();
+  else if (which == "vgg-d") net = workload::spec_vgg_d();
+  else if (which == "lenet") net = workload::spec_lenet5();
+  else if (which == "mlp") net = workload::spec_mlp_mnist_c();
+  else {
+    std::fprintf(stderr, "unknown network '%s'\n", which.c_str());
+    return 1;
+  }
+
+  const mapping::MappingConfig cfg{128, 128};
+  const mapping::NetworkMapping plan =
+      mapping::plan_under_budget(net, cfg, budget);
+
+  std::printf("%s: %zu weighted layers, %zu weights, %zu MMACs/sample\n",
+              net.name.c_str(), net.weighted_layers(), net.total_weights(),
+              net.total_macs_per_sample() / 1000000);
+  std::printf("array budget %zu (128x128 arrays)\n\n", budget);
+
+  TablePrinter table({"layer", "matrix (rows x cols)", "tiles", "vectors",
+                      "X", "arrays", "steps/sample"});
+  for (const auto& l : plan.layers) {
+    table.add_row(
+        {l.spec.name,
+         std::to_string(l.spec.matrix_rows()) + " x " +
+             std::to_string(l.spec.matrix_cols()),
+         std::to_string(l.row_tiles) + " x " + std::to_string(l.col_tiles),
+         std::to_string(l.spec.vectors_per_sample()),
+         std::to_string(l.replication), std::to_string(l.arrays()),
+         std::to_string(l.steps_per_sample())});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\ntotal arrays: %zu / %zu budget; pipeline stage latency: %zu array "
+      "steps\n",
+      plan.total_arrays(), budget, plan.stage_steps());
+  std::printf(
+      "(the stage latency is the max over layers of ceil(vectors / X): the "
+      "planner equalizes it by duplicating hot layers' weights)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "arch/bank.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+Bank::Bank(const ChipConfig& chip, std::size_t bank_id)
+    : chip_(&chip), id_(bank_id) {
+  morphable_.reserve(chip.morphable_subarrays_per_bank);
+  for (std::size_t i = 0; i < chip.morphable_subarrays_per_bank; ++i)
+    morphable_.emplace_back(SubarrayKind::kMorphable, chip_);
+  memory_.reserve(chip.memory_subarrays_per_bank);
+  for (std::size_t i = 0; i < chip.memory_subarrays_per_bank; ++i)
+    memory_.emplace_back(SubarrayKind::kMemory, chip_);
+  buffer_.reserve(chip.buffer_subarrays_per_bank);
+  for (std::size_t i = 0; i < chip.buffer_subarrays_per_bank; ++i)
+    buffer_.emplace_back(SubarrayKind::kBuffer, chip_);
+}
+
+Subarray& Bank::morphable(std::size_t i) {
+  RERAMDL_CHECK_LT(i, morphable_.size());
+  return morphable_[i];
+}
+
+Subarray& Bank::memory(std::size_t i) {
+  RERAMDL_CHECK_LT(i, memory_.size());
+  return memory_[i];
+}
+
+Subarray& Bank::buffer(std::size_t i) {
+  RERAMDL_CHECK_LT(i, buffer_.size());
+  return buffer_[i];
+}
+
+std::size_t Bank::allocate_compute(std::size_t count, EnergyMeter& meter) {
+  RERAMDL_CHECK_LE(count, morphable_.size());
+  for (std::size_t i = 0; i < morphable_.size(); ++i)
+    morphable_[i].morph(i < count ? SubarrayMode::kCompute : SubarrayMode::kMemory,
+                        meter);
+  compute_allocated_ = count;
+  return count * chip_->arrays_per_subarray;
+}
+
+}  // namespace reramdl::arch

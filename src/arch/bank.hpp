@@ -1,0 +1,38 @@
+// A memory bank: morphable + memory + buffer subarrays under one bank
+// control unit (PipeLayer Fig. 6 / ReGAN Fig. 10 region split).
+#pragma once
+
+#include <vector>
+
+#include "arch/subarray.hpp"
+
+namespace reramdl::arch {
+
+class Bank {
+ public:
+  Bank(const ChipConfig& chip, std::size_t bank_id);
+
+  std::size_t id() const { return id_; }
+  std::size_t num_morphable() const { return morphable_.size(); }
+  std::size_t num_memory() const { return memory_.size(); }
+  std::size_t num_buffer() const { return buffer_.size(); }
+
+  Subarray& morphable(std::size_t i);
+  Subarray& memory(std::size_t i);
+  Subarray& buffer(std::size_t i);
+
+  // Morph the first `count` morphable subarrays into compute mode (layer
+  // allocation); the rest stay memory. Returns arrays made available.
+  std::size_t allocate_compute(std::size_t count, EnergyMeter& meter);
+  std::size_t compute_subarrays() const { return compute_allocated_; }
+
+  const ChipConfig& chip() const { return *chip_; }
+
+ private:
+  const ChipConfig* chip_;
+  std::size_t id_;
+  std::vector<Subarray> morphable_, memory_, buffer_;
+  std::size_t compute_allocated_ = 0;
+};
+
+}  // namespace reramdl::arch

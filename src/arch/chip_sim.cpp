@@ -1,0 +1,84 @@
+#include "arch/chip_sim.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+ChipSimulator::ChipSimulator(const ChipConfig& chip,
+                             mapping::NetworkMapping mapping,
+                             Placement placement, NocParams noc_params)
+    : chip_(chip),
+      mapping_(std::move(mapping)),
+      placement_(std::move(placement)),
+      noc_(make_mesh_for_banks(chip.banks, noc_params)) {
+  RERAMDL_CHECK_EQ(placement_.bank.size(), mapping_.layers.size());
+  for (const std::size_t b : placement_.bank)
+    RERAMDL_CHECK_LT(b, noc_.num_banks());
+}
+
+std::vector<std::vector<std::size_t>> ChipSimulator::layers_by_bank() const {
+  std::vector<std::vector<std::size_t>> by_bank(noc_.num_banks());
+  for (std::size_t i = 0; i < mapping_.layers.size(); ++i)
+    by_bank[placement_.bank[i]].push_back(i);
+  return by_bank;
+}
+
+ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
+  ChipRunReport report;
+  const auto by_bank = layers_by_bank();
+
+  for (std::size_t bank_id = 0; bank_id < by_bank.size(); ++bank_id) {
+    if (by_bank[bank_id].empty()) continue;
+    ++report.banks_used;
+
+    // This bank's share of the network, lowered and executed in place.
+    mapping::NetworkMapping local;
+    local.config = mapping_.config;
+    for (const std::size_t idx : by_bank[bank_id])
+      local.layers.push_back(mapping_.layers[idx]);
+
+    // Programs address banks by their controller id; reuse the physical
+    // bank id modulo the ISA's 6-bit field.
+    const std::size_t isa_bank = bank_id % 64;
+    const auto program =
+        training ? lower_training_batch(local, chip_, isa_bank, batch)
+                 : lower_forward_pass(local, chip_, isa_bank);
+
+    Bank bank(chip_, isa_bank);
+    BankController controller(bank);
+    const ExecutionReport r = controller.run(program);
+
+    report.instructions += r.instructions;
+    report.total_bank_ns += r.busy_ns;
+    report.critical_bank_ns = std::max(report.critical_bank_ns, r.busy_ns);
+    for (const auto& [component, pj] : r.energy.breakdown())
+      report.energy.add(component, pj);
+  }
+
+  // Inter-bank activation transfers along the layer chain. Training ships
+  // activations forward and errors backward (2x per sample).
+  const double passes = training ? 2.0 * static_cast<double>(batch)
+                                 : 1.0;
+  for (std::size_t i = 0; i + 1 < mapping_.layers.size(); ++i) {
+    const std::size_t from = placement_.bank[i];
+    const std::size_t to = placement_.bank[i + 1];
+    const std::size_t bytes = 4 * mapping_.layers[i].spec.out_size();
+    report.noc_ns += passes * noc_.transfer_latency_ns(from, to, bytes);
+    report.energy.add("noc",
+                      passes * noc_.transfer_energy_pj(from, to, bytes));
+  }
+  return report;
+}
+
+ChipRunReport ChipSimulator::run_forward_pass() {
+  return run(/*training=*/false, 1);
+}
+
+ChipRunReport ChipSimulator::run_training_batch(std::size_t batch) {
+  RERAMDL_CHECK_GT(batch, 0u);
+  return run(/*training=*/true, batch);
+}
+
+}  // namespace reramdl::arch

@@ -1,0 +1,57 @@
+// Chip-level simulation: the integration layer over the whole arch stack.
+//
+// Takes a mapped network and a layer-to-bank placement, lowers each bank's
+// share into bank-controller programs (arch/lowering), executes them on live
+// Bank models, and combines per-bank busy times with the NoC transfer costs
+// of inter-bank activations. Banks run concurrently, so the chip-level
+// latency is the critical bank's busy time plus the serialized interconnect
+// time — giving an executable cross-check of the analytic accelerator
+// reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/controller.hpp"
+#include "arch/lowering.hpp"
+#include "arch/noc.hpp"
+#include "arch/placement.hpp"
+
+namespace reramdl::arch {
+
+struct ChipRunReport {
+  std::size_t banks_used = 0;
+  std::size_t instructions = 0;
+  double critical_bank_ns = 0.0;  // busiest bank's execution time
+  double total_bank_ns = 0.0;     // summed over banks (work, not latency)
+  double noc_ns = 0.0;            // inter-bank activation transfers
+  EnergyMeter energy;             // bank components + "noc"
+
+  double latency_ns() const { return critical_bank_ns + noc_ns; }
+};
+
+class ChipSimulator {
+ public:
+  // The placement's banks must index into a mesh covering chip.banks.
+  ChipSimulator(const ChipConfig& chip, mapping::NetworkMapping mapping,
+                Placement placement, NocParams noc_params = {});
+
+  // One sample's forward pass across the chip.
+  ChipRunReport run_forward_pass();
+  // One training batch (3 passes per sample + the update cycle).
+  ChipRunReport run_training_batch(std::size_t batch);
+
+  const MeshNoc& noc() const { return noc_; }
+
+ private:
+  // Layer indices homed in each used bank, in network order.
+  std::vector<std::vector<std::size_t>> layers_by_bank() const;
+  ChipRunReport run(bool training, std::size_t batch);
+
+  ChipConfig chip_;
+  mapping::NetworkMapping mapping_;
+  Placement placement_;
+  MeshNoc noc_;
+};
+
+}  // namespace reramdl::arch

@@ -1,0 +1,50 @@
+#include "arch/controller.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+BankController::BankController(Bank& bank) : bank_(bank) {}
+
+ExecutionReport BankController::run(const std::vector<std::uint32_t>& program) {
+  ExecutionReport report;
+  for (const std::uint32_t word : program) {
+    const Instruction inst = decode(word);
+    report.busy_ns += execute(inst, report);
+    ++report.instructions;
+  }
+  return report;
+}
+
+double BankController::execute(const Instruction& inst, ExecutionReport& report) {
+  RERAMDL_CHECK_EQ(static_cast<std::size_t>(inst.bank), bank_.id());
+  switch (inst.op) {
+    case Opcode::kNop:
+      return 0.0;
+    case Opcode::kCfgMode: {
+      bank_.morphable(inst.subarray)
+          .morph(inst.imm != 0 ? SubarrayMode::kCompute : SubarrayMode::kMemory,
+                 report.energy);
+      return bank_.chip().costs.memory_access_latency_ns;
+    }
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return bank_.memory(inst.subarray).access(inst.imm, report.energy);
+    case Opcode::kCompute:
+      return bank_.morphable(inst.subarray).compute(inst.imm, report.energy);
+    case Opcode::kUpdate:
+      return bank_.morphable(inst.subarray)
+          .update(static_cast<std::size_t>(inst.imm) * 64, report.energy);
+    case Opcode::kMove: {
+      // Memory subarray read + morphable-side latch write.
+      const double t = bank_.memory(inst.subarray).access(inst.imm, report.energy);
+      return t + bank_.chip().costs.buffer_access_latency_ns;
+    }
+    case Opcode::kSync:
+      ++report.sync_points;
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace reramdl::arch

@@ -1,0 +1,35 @@
+// Bank control unit: decodes an instruction stream and drives the bank's
+// subarrays, accumulating cycle and energy costs. This offloads the
+// orchestration from the host CPU (paper component (e)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/bank.hpp"
+#include "arch/isa.hpp"
+
+namespace reramdl::arch {
+
+struct ExecutionReport {
+  std::size_t instructions = 0;
+  double busy_ns = 0.0;          // summed operation latencies
+  std::size_t sync_points = 0;
+  EnergyMeter energy;
+};
+
+class BankController {
+ public:
+  explicit BankController(Bank& bank);
+
+  // Execute an encoded program sequentially; throws CheckError on illegal
+  // instructions (e.g. COMPUTE on a memory-mode subarray).
+  ExecutionReport run(const std::vector<std::uint32_t>& program);
+
+ private:
+  double execute(const Instruction& inst, ExecutionReport& report);
+
+  Bank& bank_;
+};
+
+}  // namespace reramdl::arch

@@ -1,0 +1,25 @@
+#include "arch/energy.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+void EnergyMeter::add(const std::string& component, double energy_pj) {
+  RERAMDL_CHECK_GE(energy_pj, 0.0);
+  by_component_[component] += energy_pj;
+}
+
+double EnergyMeter::total_pj() const {
+  double t = 0.0;
+  for (const auto& [name, e] : by_component_) t += e;
+  return t;
+}
+
+double EnergyMeter::component_pj(const std::string& component) const {
+  const auto it = by_component_.find(component);
+  return it == by_component_.end() ? 0.0 : it->second;
+}
+
+void EnergyMeter::reset() { by_component_.clear(); }
+
+}  // namespace reramdl::arch

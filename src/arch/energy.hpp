@@ -1,0 +1,23 @@
+// Energy accounting. Components book their consumption into named meters so
+// benches can report a per-component breakdown next to the totals.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace reramdl::arch {
+
+class EnergyMeter {
+ public:
+  void add(const std::string& component, double energy_pj);
+  double total_pj() const;
+  double component_pj(const std::string& component) const;
+  const std::map<std::string, double>& breakdown() const { return by_component_; }
+  void reset();
+
+ private:
+  std::map<std::string, double> by_component_;
+};
+
+}  // namespace reramdl::arch

@@ -1,0 +1,51 @@
+#include "arch/isa.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "NOP";
+    case Opcode::kCfgMode: return "CFG";
+    case Opcode::kLoad: return "LOAD";
+    case Opcode::kStore: return "STORE";
+    case Opcode::kCompute: return "COMPUTE";
+    case Opcode::kUpdate: return "UPDATE";
+    case Opcode::kMove: return "MOVE";
+    case Opcode::kSync: return "SYNC";
+  }
+  return "?";
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  os << arch::to_string(op) << " b" << static_cast<int>(bank) << " s"
+     << static_cast<int>(subarray) << " #" << imm;
+  return os.str();
+}
+
+std::uint32_t encode(const Instruction& inst) {
+  RERAMDL_CHECK_LT(static_cast<unsigned>(inst.op), 16u);
+  RERAMDL_CHECK_LT(inst.bank, 64u);
+  RERAMDL_CHECK_LT(inst.subarray, 64u);
+  return (static_cast<std::uint32_t>(inst.op) << 28) |
+         (static_cast<std::uint32_t>(inst.bank) << 22) |
+         (static_cast<std::uint32_t>(inst.subarray) << 16) |
+         static_cast<std::uint32_t>(inst.imm);
+}
+
+Instruction decode(std::uint32_t word) {
+  Instruction inst;
+  const auto op = (word >> 28) & 0xF;
+  RERAMDL_CHECK_LE(op, static_cast<std::uint32_t>(Opcode::kSync));
+  inst.op = static_cast<Opcode>(op);
+  inst.bank = static_cast<std::uint8_t>((word >> 22) & 0x3F);
+  inst.subarray = static_cast<std::uint8_t>((word >> 16) & 0x3F);
+  inst.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+  return inst;
+}
+
+}  // namespace reramdl::arch

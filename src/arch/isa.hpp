@@ -1,0 +1,42 @@
+// Bank instruction set. "Each memory bank contains a bank control unit,
+// which decodes the incoming instructions and determines the operation mode
+// of morphable subarrays" (paper Sec. III-A-3e). Instructions are 32-bit:
+//
+//   [31:28] opcode  [27:22] bank  [21:16] subarray  [15:0] immediate
+//
+// The immediate's meaning is per-opcode: mode for CFG, byte count for
+// LOAD/STORE, array count for COMPUTE, cell count (in units of 64) for
+// UPDATE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reramdl::arch {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kCfgMode = 1,   // imm: 0 = memory, 1 = compute
+  kLoad = 2,      // memory/buffer subarray -> bank bus
+  kStore = 3,     // bank bus -> memory/buffer subarray
+  kCompute = 4,   // MVM on a morphable subarray; imm = arrays
+  kUpdate = 5,    // weight update; imm = cells / 64
+  kMove = 6,      // memory subarray -> morphable subarray input latch
+  kSync = 7,      // pipeline barrier (batch boundary)
+};
+
+const char* to_string(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t bank = 0;      // 6 bits
+  std::uint8_t subarray = 0;  // 6 bits
+  std::uint16_t imm = 0;
+
+  std::string to_string() const;
+};
+
+std::uint32_t encode(const Instruction& inst);
+Instruction decode(std::uint32_t word);
+
+}  // namespace reramdl::arch

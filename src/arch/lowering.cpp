@@ -1,0 +1,106 @@
+#include "arch/lowering.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+Instruction make(Opcode op, std::size_t bank, std::size_t subarray,
+                 std::size_t imm) {
+  Instruction inst;
+  inst.op = op;
+  inst.bank = static_cast<std::uint8_t>(bank);
+  inst.subarray = static_cast<std::uint8_t>(subarray);
+  inst.imm = static_cast<std::uint16_t>(std::min<std::size_t>(imm, 0xFFFF));
+  return inst;
+}
+
+// Morphable subarray a layer computes on, assigned round-robin.
+std::size_t layer_subarray(std::size_t layer_index, const ChipConfig& chip) {
+  return layer_index % chip.morphable_subarrays_per_bank;
+}
+
+// Memory subarray buffering a layer's activations.
+std::size_t layer_buffer(std::size_t layer_index, const ChipConfig& chip) {
+  return layer_index % chip.memory_subarrays_per_bank;
+}
+
+void emit_layer_pass(const mapping::LayerMapping& layer, std::size_t index,
+                     const ChipConfig& chip, std::size_t bank_id,
+                     std::vector<std::uint32_t>& out) {
+  const std::size_t sub = layer_subarray(index, chip);
+  const std::size_t buf = layer_buffer(index, chip);
+  const std::size_t arrays_per_step =
+      std::min<std::size_t>(layer.arrays(), chip.arrays_per_subarray);
+  for (std::size_t step = 0; step < layer.steps_per_sample(); ++step) {
+    // Stage the step's input vectors (4 bytes per wordline).
+    out.push_back(encode(
+        make(Opcode::kMove, bank_id, buf, 4 * layer.spec.matrix_rows())));
+    out.push_back(
+        encode(make(Opcode::kCompute, bank_id, sub, arrays_per_step)));
+  }
+  // Spill the layer's outputs to its memory subarray.
+  out.push_back(encode(
+      make(Opcode::kStore, bank_id, buf, 4 * layer.spec.matrix_cols())));
+  out.push_back(encode(make(Opcode::kSync, bank_id, 0, 0)));
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> lower_forward_pass(
+    const mapping::NetworkMapping& mapping, const ChipConfig& chip,
+    std::size_t bank_id) {
+  RERAMDL_CHECK(!mapping.layers.empty());
+  RERAMDL_CHECK_LT(bank_id, chip.banks);
+  std::vector<std::uint32_t> out;
+  // Morph each layer's subarray into compute mode once.
+  for (std::size_t i = 0; i < mapping.layers.size(); ++i)
+    out.push_back(
+        encode(make(Opcode::kCfgMode, bank_id, layer_subarray(i, chip), 1)));
+  for (std::size_t i = 0; i < mapping.layers.size(); ++i)
+    emit_layer_pass(mapping.layers[i], i, chip, bank_id, out);
+  return out;
+}
+
+std::vector<std::uint32_t> lower_training_batch(
+    const mapping::NetworkMapping& mapping, const ChipConfig& chip,
+    std::size_t bank_id, std::size_t batch) {
+  RERAMDL_CHECK_GT(batch, 0u);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < mapping.layers.size(); ++i)
+    out.push_back(
+        encode(make(Opcode::kCfgMode, bank_id, layer_subarray(i, chip), 1)));
+  // Forward + error-backward + weight-gradient: 3 passes per input.
+  for (std::size_t b = 0; b < batch; ++b)
+    for (int pass = 0; pass < 3; ++pass)
+      for (std::size_t i = 0; i < mapping.layers.size(); ++i)
+        emit_layer_pass(mapping.layers[i], i, chip, bank_id, out);
+  // One update cycle at batch end reprograms each layer's cells.
+  for (std::size_t i = 0; i < mapping.layers.size(); ++i) {
+    const std::size_t cells64 = (mapping.layers[i].weight_cells() + 63) / 64;
+    out.push_back(encode(make(Opcode::kUpdate, bank_id,
+                              layer_subarray(i, chip), cells64)));
+  }
+  out.push_back(encode(make(Opcode::kSync, bank_id, 0, 0)));
+  return out;
+}
+
+LoweringStats analyze(const std::vector<std::uint32_t>& program) {
+  LoweringStats s;
+  for (const auto word : program) {
+    switch (decode(word).op) {
+      case Opcode::kCfgMode: ++s.configs; break;
+      case Opcode::kMove: ++s.moves; break;
+      case Opcode::kCompute: ++s.computes; break;
+      case Opcode::kStore: ++s.stores; break;
+      case Opcode::kUpdate: ++s.updates; break;
+      case Opcode::kSync: ++s.syncs; break;
+      default: break;
+    }
+  }
+  return s;
+}
+
+}  // namespace reramdl::arch

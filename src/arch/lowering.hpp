@@ -1,0 +1,56 @@
+// Lowering: turn a mapped network into the instruction stream the bank
+// control unit executes (paper Sec. III-A-3e: the control unit "offloads
+// the computation from the host CPU and orchestrates the data transfers
+// between memory subarrays and morphable subarrays").
+//
+// The generated program for one forward pass is, per weighted layer:
+//   CFG  (morph the layer's subarrays into compute mode — done once up front)
+//   repeat steps_per_sample times:
+//     MOVE    (stage the input vectors from the memory subarray)
+//     COMPUTE (one replicated array step)
+//   STORE  (spill the layer's outputs to its memory subarray)
+//   SYNC   (stage boundary)
+// Training batches append, at batch end, one UPDATE per layer reprogramming
+// its cells, followed by a SYNC (the paper's single update cycle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "arch/params.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace reramdl::arch {
+
+struct LoweringStats {
+  std::size_t configs = 0;
+  std::size_t moves = 0;
+  std::size_t computes = 0;
+  std::size_t stores = 0;
+  std::size_t updates = 0;
+  std::size_t syncs = 0;
+  std::size_t total() const {
+    return configs + moves + computes + stores + updates + syncs;
+  }
+};
+
+// Program for one sample's forward pass through every weighted layer.
+// Subarrays are assigned round-robin within the bank. All instructions
+// target `bank_id`.
+std::vector<std::uint32_t> lower_forward_pass(
+    const mapping::NetworkMapping& mapping, const ChipConfig& chip,
+    std::size_t bank_id);
+
+// Program for one training batch: `batch` forward passes' worth of compute
+// per layer (the backward passes run on mirrored arrays with the same
+// instruction count, so they are folded in as a 3x compute repetition),
+// then the batch's weight-update cycle.
+std::vector<std::uint32_t> lower_training_batch(
+    const mapping::NetworkMapping& mapping, const ChipConfig& chip,
+    std::size_t bank_id, std::size_t batch);
+
+// Static analysis of a program (no execution).
+LoweringStats analyze(const std::vector<std::uint32_t>& program);
+
+}  // namespace reramdl::arch

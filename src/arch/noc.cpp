@@ -1,0 +1,50 @@
+#include "arch/noc.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+MeshNoc::MeshNoc(std::size_t rows, std::size_t cols, NocParams params)
+    : rows_(rows), cols_(cols), params_(params) {
+  RERAMDL_CHECK_GT(rows, 0u);
+  RERAMDL_CHECK_GT(cols, 0u);
+  RERAMDL_CHECK_GT(params.link_bandwidth_bytes_per_ns, 0.0);
+}
+
+std::size_t MeshNoc::hops(std::size_t from_bank, std::size_t to_bank) const {
+  RERAMDL_CHECK_LT(from_bank, num_banks());
+  RERAMDL_CHECK_LT(to_bank, num_banks());
+  const std::size_t fr = from_bank / cols_, fc = from_bank % cols_;
+  const std::size_t tr = to_bank / cols_, tc = to_bank % cols_;
+  const std::size_t dr = fr > tr ? fr - tr : tr - fr;
+  const std::size_t dc = fc > tc ? fc - tc : tc - fc;
+  return dr + dc;
+}
+
+double MeshNoc::transfer_latency_ns(std::size_t from_bank, std::size_t to_bank,
+                                    std::size_t bytes) const {
+  const std::size_t h = hops(from_bank, to_bank);
+  if (h == 0) return 0.0;
+  const double serialization =
+      static_cast<double>(bytes) / params_.link_bandwidth_bytes_per_ns;
+  return static_cast<double>(h) * params_.hop_latency_ns + serialization;
+}
+
+double MeshNoc::transfer_energy_pj(std::size_t from_bank, std::size_t to_bank,
+                                   std::size_t bytes) const {
+  return static_cast<double>(hops(from_bank, to_bank)) *
+         params_.hop_energy_pj_per_byte * static_cast<double>(bytes);
+}
+
+MeshNoc make_mesh_for_banks(std::size_t banks, NocParams params) {
+  RERAMDL_CHECK_GT(banks, 0u);
+  std::size_t rows = static_cast<std::size_t>(
+      std::floor(std::sqrt(static_cast<double>(banks))));
+  while (rows > 1 && banks % rows != 0) --rows;
+  const std::size_t cols = (banks + rows - 1) / rows;
+  return MeshNoc(rows, cols, params);
+}
+
+}  // namespace reramdl::arch

@@ -1,0 +1,51 @@
+// Inter-bank interconnect model.
+//
+// PipeLayer/ReGAN organize the chip as many memory banks (Fig. 6 / Fig. 10);
+// consecutive pipeline stages placed in different banks exchange their
+// activations over the chip interconnect, modeled here as a 2-D mesh with
+// per-hop latency/energy and XY routing. The placement optimizer
+// (arch/placement) minimizes this traffic.
+#pragma once
+
+#include <cstddef>
+
+namespace reramdl::arch {
+
+struct NocParams {
+  double hop_latency_ns = 1.5;
+  double hop_energy_pj_per_byte = 0.8;
+  // Link bandwidth per direction, bytes per ns.
+  double link_bandwidth_bytes_per_ns = 32.0;
+};
+
+class MeshNoc {
+ public:
+  // Banks arranged in a rows x cols mesh; bank b sits at
+  // (b / cols, b % cols).
+  MeshNoc(std::size_t rows, std::size_t cols, NocParams params);
+
+  std::size_t num_banks() const { return rows_ * cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  // Manhattan (XY-routing) hop count between two banks.
+  std::size_t hops(std::size_t from_bank, std::size_t to_bank) const;
+
+  // Cost of moving `bytes` from one bank to another: serialization on the
+  // narrowest link plus per-hop latency.
+  double transfer_latency_ns(std::size_t from_bank, std::size_t to_bank,
+                             std::size_t bytes) const;
+  double transfer_energy_pj(std::size_t from_bank, std::size_t to_bank,
+                            std::size_t bytes) const;
+
+  const NocParams& params() const { return params_; }
+
+ private:
+  std::size_t rows_, cols_;
+  NocParams params_;
+};
+
+// Smallest near-square mesh holding `banks` nodes.
+MeshNoc make_mesh_for_banks(std::size_t banks, NocParams params = {});
+
+}  // namespace reramdl::arch

@@ -1,0 +1,33 @@
+#include "arch/params.hpp"
+
+namespace reramdl::arch {
+
+ChipConfig pipelayer_chip() {
+  ChipConfig c;
+  c.banks = 64;
+  c.morphable_subarrays_per_bank = 32;
+  c.memory_subarrays_per_bank = 24;
+  c.buffer_subarrays_per_bank = 8;
+  c.arrays_per_subarray = 8;
+  return c;  // 16384 compute arrays
+}
+
+ChipConfig regan_chip() {
+  ChipConfig c;
+  c.banks = 32;
+  c.morphable_subarrays_per_bank = 32;
+  c.memory_subarrays_per_bank = 16;
+  c.buffer_subarrays_per_bank = 16;  // ReGAN doubles intermediate storage (CS)
+  c.arrays_per_subarray = 8;
+  // ReGAN's ASPDAC'18-generation FF subarrays: VBN keeps signal ranges
+  // normalized, so the I&F conversion runs at lower resolution and energy
+  // than the PipeLayer design point.
+  c.costs.array_compute_energy_pj = 18000.0;  // 18 nJ
+  // Buffer subarrays are connected to FF subarrays through private data
+  // ports (Fig. 10), so inter-layer traffic does not contend with the Mem
+  // subarrays: double the effective internal bandwidth.
+  c.costs.internal_bandwidth_bytes_per_ns = 96.0;
+  return c;  // 8192 compute arrays
+}
+
+}  // namespace reramdl::arch

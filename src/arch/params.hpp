@@ -1,0 +1,80 @@
+// Architectural parameters and the per-component cost catalog.
+//
+// Defaults are derived from the constants the PipeLayer (HPCA'17) and ISAAC
+// (ISCA'16) evaluations use for 128x128 crossbars with 4-bit cells: a
+// ~50.88 ns array compute cycle, nJ-scale energy per array activation once
+// spike drivers, I&F converters, counters, shift-and-add trees and partial-
+// sum collection are included, and 10s-of-pJ buffer accesses. Where a paper
+// constant is not public, the value is calibrated so that the *ratios* of
+// Table I reproduce (see EXPERIMENTS.md, "calibration").
+#pragma once
+
+#include <cstddef>
+
+#include "device/reram_cell.hpp"
+
+namespace reramdl::arch {
+
+struct ComponentCosts {
+  // One crossbar-array MVM activation (all input-bit phases), including the
+  // spike drivers, I&F + counters, shift-and-add, and the subtractor share.
+  double array_compute_energy_pj = 120000.0;  // 120 nJ
+  double array_compute_latency_ns = 50.88;   // PipeLayer cycle time
+
+  // Morphable/FF subarray used as plain memory.
+  double memory_access_energy_pj_per_byte = 2.0;
+  double memory_access_latency_ns = 29.31;  // ReRAM subarray read
+
+  // Buffer subarray access (private ports, ReGAN Fig. 10).
+  double buffer_access_energy_pj_per_byte = 1.0;
+  double buffer_access_latency_ns = 10.0;
+
+  // Activation function unit / configurable LUT, per element.
+  double activation_energy_pj = 0.6;
+  // Max-pool register, per element observed.
+  double maxpool_energy_pj = 0.1;
+  // Batch-norm sub+shift in the wordline drivers (ReGAN VBN), per element.
+  double vbn_energy_pj = 0.4;
+
+  // Weight update: per-cell reprogramming (on top of CellParams pulses).
+  double update_driver_energy_pj = 2.0;
+
+  // Static/idle power per allocated array in watts (peripheral leakage).
+  double array_static_power_w = 0.0003;
+
+  // Aggregate bandwidth between morphable subarrays and the memory
+  // subarrays buffering inter-layer activations, in bytes per ns (= GB/s).
+  // Each pipeline stage cycle must move the stage's activations through
+  // this path, which bounds the cycle time for activation-heavy layers.
+  double internal_bandwidth_bytes_per_ns = 48.0;
+
+  // Areas in mm^2.
+  double array_area_mm2 = 0.0025;   // 128x128 array + peripherals
+  double bank_control_area_mm2 = 0.01;
+  double buffer_area_per_kb_mm2 = 0.001;
+};
+
+struct ChipConfig {
+  std::size_t banks = 64;
+  std::size_t morphable_subarrays_per_bank = 32;
+  std::size_t memory_subarrays_per_bank = 24;
+  std::size_t buffer_subarrays_per_bank = 8;
+  // Crossbar arrays per morphable subarray.
+  std::size_t arrays_per_subarray = 8;
+  std::size_t array_rows = 128;
+  std::size_t array_cols = 128;
+  std::size_t subarray_bytes = 64 * 1024;  // as memory
+
+  ComponentCosts costs;
+  device::CellParams cell;
+
+  std::size_t total_compute_arrays() const {
+    return banks * morphable_subarrays_per_bank * arrays_per_subarray;
+  }
+};
+
+// Named configurations used by the benches.
+ChipConfig pipelayer_chip();  // PipeLayer-scale part (Table I row 1)
+ChipConfig regan_chip();      // ReGAN-scale part (Table I row 2)
+
+}  // namespace reramdl::arch

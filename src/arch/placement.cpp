@@ -1,0 +1,137 @@
+#include "arch/placement.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+std::size_t bank_capacity_arrays(const ChipConfig& chip) {
+  return chip.morphable_subarrays_per_bank * chip.arrays_per_subarray;
+}
+
+// Snake order over the mesh: row 0 left-to-right, row 1 right-to-left, ...
+// so consecutive banks in the order are always mesh neighbours.
+std::vector<std::size_t> snake_order(const MeshNoc& noc) {
+  std::vector<std::size_t> order;
+  order.reserve(noc.num_banks());
+  for (std::size_t r = 0; r < noc.rows(); ++r) {
+    if (r % 2 == 0)
+      for (std::size_t c = 0; c < noc.cols(); ++c) order.push_back(r * noc.cols() + c);
+    else
+      for (std::size_t c = noc.cols(); c > 0; --c)
+        order.push_back(r * noc.cols() + c - 1);
+  }
+  return order;
+}
+
+}  // namespace
+
+namespace {
+
+// Allocate `need` arrays starting at `cursor` in the given bank order,
+// spilling into later banks as required. Returns {home_bank, banks_spanned}
+// and leaves `cursor` at the first bank with remaining capacity.
+std::pair<std::size_t, std::size_t> allocate_spanning(
+    std::size_t need, std::size_t capacity,
+    const std::vector<std::size_t>& order, std::size_t& cursor,
+    std::vector<std::size_t>& arrays_per_bank) {
+  while (arrays_per_bank[order[cursor]] >= capacity) {
+    ++cursor;
+    RERAMDL_CHECK_LT(cursor, order.size());
+  }
+  const std::size_t home = order[cursor];
+  std::size_t spanned = 0;
+  std::size_t pos = cursor;
+  while (need > 0) {
+    RERAMDL_CHECK_LT(pos, order.size());
+    const std::size_t bank = order[pos];
+    const std::size_t free = capacity - arrays_per_bank[bank];
+    const std::size_t take = std::min(free, need);
+    if (take > 0) {
+      arrays_per_bank[bank] += take;
+      need -= take;
+      ++spanned;
+    }
+    if (need > 0) ++pos;
+  }
+  cursor = arrays_per_bank[order[pos]] < capacity ? pos : pos + 1;
+  if (cursor >= order.size()) cursor = order.size() - 1;
+  return {home, spanned};
+}
+
+}  // namespace
+
+Placement place_snake(const mapping::NetworkMapping& mapping,
+                      const ChipConfig& chip, const MeshNoc& noc) {
+  RERAMDL_CHECK(!mapping.layers.empty());
+  const std::size_t capacity = bank_capacity_arrays(chip);
+  RERAMDL_CHECK_GT(capacity, 0u);
+  const auto order = snake_order(noc);
+
+  Placement p;
+  p.bank.reserve(mapping.layers.size());
+  p.spans.reserve(mapping.layers.size());
+  p.arrays_per_bank.assign(noc.num_banks(), 0);
+
+  std::size_t cursor = 0;  // index into snake order
+  for (const auto& layer : mapping.layers) {
+    const auto [home, spanned] = allocate_spanning(
+        layer.arrays(), capacity, order, cursor, p.arrays_per_bank);
+    p.bank.push_back(home);
+    p.spans.push_back(spanned);
+  }
+  return p;
+}
+
+Placement place_scattered(const mapping::NetworkMapping& mapping,
+                          const ChipConfig& chip, const MeshNoc& noc) {
+  RERAMDL_CHECK(!mapping.layers.empty());
+  const std::size_t capacity = bank_capacity_arrays(chip);
+  RERAMDL_CHECK_GT(capacity, 0u);
+  Placement p;
+  p.arrays_per_bank.assign(noc.num_banks(), 0);
+  // Visit banks with a large stride so consecutive layers land far apart,
+  // then fall back to a linear scan for the spill allocation.
+  const std::size_t stride = std::max<std::size_t>(noc.num_banks() / 2, 1);
+  std::vector<std::size_t> linear(noc.num_banks());
+  for (std::size_t i = 0; i < linear.size(); ++i) linear[i] = i;
+
+  std::size_t start = 0;
+  for (const auto& layer : mapping.layers) {
+    // Rotate the linear order so allocation begins at `start`.
+    std::vector<std::size_t> order(linear.size());
+    for (std::size_t i = 0; i < linear.size(); ++i)
+      order[i] = (start + i) % linear.size();
+    std::size_t cursor = 0;
+    const auto [home, spanned] = allocate_spanning(
+        layer.arrays(), capacity, order, cursor, p.arrays_per_bank);
+    p.bank.push_back(home);
+    p.spans.push_back(spanned);
+    start = (start + stride) % noc.num_banks();
+  }
+  return p;
+}
+
+PlacementCost evaluate_placement(const Placement& placement,
+                                 const mapping::NetworkMapping& mapping,
+                                 const MeshNoc& noc) {
+  RERAMDL_CHECK_EQ(placement.bank.size(), mapping.layers.size());
+  PlacementCost cost;
+  for (std::size_t i = 0; i + 1 < mapping.layers.size(); ++i) {
+    const std::size_t from = placement.bank[i];
+    const std::size_t to = placement.bank[i + 1];
+    const std::size_t bytes = 4 * mapping.layers[i].spec.out_size();
+    cost.total_hops += noc.hops(from, to);
+    cost.transfer_ns_per_sample += noc.transfer_latency_ns(from, to, bytes);
+    cost.transfer_pj_per_sample += noc.transfer_energy_pj(from, to, bytes);
+  }
+  std::set<std::size_t> used(placement.bank.begin(), placement.bank.end());
+  cost.banks_used = used.size();
+  return cost;
+}
+
+}  // namespace reramdl::arch

@@ -1,0 +1,55 @@
+// Layer-to-bank placement.
+//
+// A mapped network's layers must be assigned to banks whose morphable
+// subarrays can hold their arrays; consecutive layers in different banks pay
+// interconnect cost for every sample's activations. The snake placement
+// walks the mesh so that consecutive layers land in the same or adjacent
+// banks, which is what makes the inter-layer pipeline's cycle time
+// insensitive to chip scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/noc.hpp"
+#include "arch/params.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace reramdl::arch {
+
+struct Placement {
+  // bank[i] = home bank of weighted layer i (the bank holding its first
+  // array chunk; large layers spill into subsequent banks).
+  std::vector<std::size_t> bank;
+  // spans[i] = number of banks layer i occupies (1 when it fits its home).
+  std::vector<std::size_t> spans;
+  // Arrays allocated per bank.
+  std::vector<std::size_t> arrays_per_bank;
+};
+
+struct PlacementCost {
+  std::size_t total_hops = 0;      // sum over adjacent layer pairs
+  double transfer_ns_per_sample = 0.0;
+  double transfer_pj_per_sample = 0.0;
+  std::size_t banks_used = 0;
+};
+
+// Greedy snake placement: fill banks in mesh-snake order; a layer larger
+// than the remaining bank capacity spills into the following snake banks.
+// Throws if the chip runs out of banks.
+Placement place_snake(const mapping::NetworkMapping& mapping,
+                      const ChipConfig& chip, const MeshNoc& noc);
+
+// Pathological baseline: round-robin layers across all banks (maximally
+// scattered), used by the placement ablation.
+Placement place_scattered(const mapping::NetworkMapping& mapping,
+                          const ChipConfig& chip, const MeshNoc& noc);
+
+// Interconnect cost of one sample's forward pass under a placement: each
+// adjacent weighted-layer pair (i, i+1) ships layer i's output activations
+// from bank[i] to bank[i+1].
+PlacementCost evaluate_placement(const Placement& placement,
+                                 const mapping::NetworkMapping& mapping,
+                                 const MeshNoc& noc);
+
+}  // namespace reramdl::arch

@@ -1,0 +1,65 @@
+#include "arch/subarray.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+const char* to_string(SubarrayKind kind) {
+  switch (kind) {
+    case SubarrayKind::kMorphable: return "morphable";
+    case SubarrayKind::kMemory: return "memory";
+    case SubarrayKind::kBuffer: return "buffer";
+  }
+  return "?";
+}
+
+Subarray::Subarray(SubarrayKind kind, const ChipConfig* chip)
+    : kind_(kind), mode_(SubarrayMode::kMemory), chip_(chip) {
+  RERAMDL_CHECK(chip != nullptr);
+}
+
+void Subarray::morph(SubarrayMode mode, EnergyMeter& meter) {
+  RERAMDL_CHECK(kind_ == SubarrayKind::kMorphable);
+  if (mode == mode_) return;
+  mode_ = mode;
+  // Reconfiguration drives the peripheral mux tree once.
+  meter.add("morph", chip_->costs.activation_energy_pj * 16.0);
+}
+
+double Subarray::access(std::size_t bytes, EnergyMeter& meter) {
+  RERAMDL_CHECK(kind_ != SubarrayKind::kMorphable ||
+                mode_ == SubarrayMode::kMemory);
+  bytes_accessed_ += bytes;
+  const auto& c = chip_->costs;
+  if (kind_ == SubarrayKind::kBuffer) {
+    meter.add("buffer", c.buffer_access_energy_pj_per_byte *
+                            static_cast<double>(bytes));
+    return c.buffer_access_latency_ns;
+  }
+  meter.add("memory", c.memory_access_energy_pj_per_byte *
+                          static_cast<double>(bytes));
+  return c.memory_access_latency_ns;
+}
+
+double Subarray::compute(std::size_t arrays, EnergyMeter& meter) {
+  RERAMDL_CHECK(kind_ == SubarrayKind::kMorphable);
+  RERAMDL_CHECK(mode_ == SubarrayMode::kCompute);
+  RERAMDL_CHECK_GT(arrays, 0u);
+  RERAMDL_CHECK_LE(arrays, chip_->arrays_per_subarray);
+  compute_ops_ += arrays;
+  meter.add("compute", chip_->costs.array_compute_energy_pj *
+                           static_cast<double>(arrays));
+  return chip_->costs.array_compute_latency_ns;
+}
+
+double Subarray::update(std::size_t cells, EnergyMeter& meter) {
+  RERAMDL_CHECK(kind_ == SubarrayKind::kMorphable);
+  RERAMDL_CHECK(mode_ == SubarrayMode::kCompute);
+  const double per_cell =
+      chip_->cell.program_energy_pj() + chip_->costs.update_driver_energy_pj;
+  meter.add("update", per_cell * static_cast<double>(cells));
+  // Rows program in parallel across bitlines; latency covers one row window.
+  return chip_->cell.program_latency_ns();
+}
+
+}  // namespace reramdl::arch

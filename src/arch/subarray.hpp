@@ -1,0 +1,53 @@
+// Morphable / memory / buffer subarrays (PipeLayer Fig. 6, ReGAN Fig. 10).
+//
+// A morphable (ReGAN: "full function") subarray behaves as a regular ReRAM
+// memory subarray in memory mode and performs matrix-vector multiplication
+// in compute mode. Memory subarrays buffer intermediate results between
+// layers; buffer subarrays have private data ports so their traffic does not
+// consume memory bandwidth.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/energy.hpp"
+#include "arch/params.hpp"
+
+namespace reramdl::arch {
+
+enum class SubarrayKind { kMorphable, kMemory, kBuffer };
+enum class SubarrayMode { kMemory, kCompute };
+
+const char* to_string(SubarrayKind kind);
+
+class Subarray {
+ public:
+  Subarray(SubarrayKind kind, const ChipConfig* chip);
+
+  SubarrayKind kind() const { return kind_; }
+  SubarrayMode mode() const { return mode_; }
+
+  // Reconfigure a morphable subarray; illegal on memory/buffer subarrays.
+  void morph(SubarrayMode mode, EnergyMeter& meter);
+
+  // Memory-mode access of `bytes`; returns latency in ns.
+  double access(std::size_t bytes, EnergyMeter& meter);
+
+  // One MVM activation across `arrays` of this subarray's crossbars;
+  // requires compute mode. Returns latency in ns.
+  double compute(std::size_t arrays, EnergyMeter& meter);
+
+  // Weight update of `cells` ReRAM cells; requires compute mode.
+  double update(std::size_t cells, EnergyMeter& meter);
+
+  std::size_t compute_ops() const { return compute_ops_; }
+  std::size_t bytes_accessed() const { return bytes_accessed_; }
+
+ private:
+  SubarrayKind kind_;
+  SubarrayMode mode_;
+  const ChipConfig* chip_;
+  std::size_t compute_ops_ = 0;
+  std::size_t bytes_accessed_ = 0;
+};
+
+}  // namespace reramdl::arch

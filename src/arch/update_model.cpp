@@ -1,0 +1,45 @@
+#include "arch/update_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+
+UpdateModel::UpdateModel(const ChipConfig& chip,
+                         const mapping::NetworkMapping& mapping)
+    : chip_(&chip) {
+  RERAMDL_CHECK(!mapping.layers.empty());
+  rows_ = 0;
+  for (const auto& l : mapping.layers)
+    rows_ = std::max(rows_, std::min(l.spec.matrix_rows(), chip.array_rows));
+  RERAMDL_CHECK_GT(rows_, 0u);
+}
+
+std::size_t UpdateModel::rows_to_program() const { return rows_; }
+
+UpdateTiming UpdateModel::full_reprogram(double pipeline_cycle_ns) const {
+  RERAMDL_CHECK_GT(pipeline_cycle_ns, 0.0);
+  UpdateTiming t;
+  t.pipeline_cycle_ns = pipeline_cycle_ns;
+  t.update_ns =
+      static_cast<double>(rows_) * chip_->cell.program_latency_ns();
+  return t;
+}
+
+UpdateTiming UpdateModel::delta_update(double pipeline_cycle_ns,
+                                       double changed_fraction,
+                                       std::size_t pulses) const {
+  RERAMDL_CHECK_GT(pipeline_cycle_ns, 0.0);
+  RERAMDL_CHECK_GE(changed_fraction, 0.0);
+  RERAMDL_CHECK_LE(changed_fraction, 1.0);
+  RERAMDL_CHECK_GE(pulses, 1u);
+  UpdateTiming t;
+  t.pipeline_cycle_ns = pipeline_cycle_ns;
+  const double rows = std::ceil(static_cast<double>(rows_) * changed_fraction);
+  t.update_ns = rows * chip_->cell.write_pulse_ns * static_cast<double>(pulses);
+  return t;
+}
+
+}  // namespace reramdl::arch

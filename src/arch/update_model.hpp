@@ -1,0 +1,48 @@
+// Weight-update timing model.
+//
+// The pipeline formulas count the batch weight update as a single cycle.
+// Physically, the spike drivers act as write drivers (paper component (a))
+// and program one wordline's cells in parallel, so an array reprograms in
+// rows x per-cell-programming-time; arrays update concurrently. This model
+// quantifies the real update latency and how many pipeline cycles it spans,
+// making the "+1 cycle" idealization checkable: with delta updates (a few
+// pulses per cell instead of a full re-tune) the update fits a handful of
+// pipeline cycles and is negligible against the B-cycle batch body.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/params.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace reramdl::arch {
+
+struct UpdateTiming {
+  double update_ns = 0.0;         // wall time of the update window
+  double pipeline_cycle_ns = 0.0; // cycle it is measured against
+  double cycles() const {
+    return pipeline_cycle_ns > 0.0 ? update_ns / pipeline_cycle_ns : 0.0;
+  }
+};
+
+class UpdateModel {
+ public:
+  UpdateModel(const ChipConfig& chip, const mapping::NetworkMapping& mapping);
+
+  // Rows that must be programmed sequentially in the worst-mapped array.
+  std::size_t rows_to_program() const;
+
+  // Full re-tune of every cell (tune_pulses per cell).
+  UpdateTiming full_reprogram(double pipeline_cycle_ns) const;
+
+  // Delta update: only `changed_fraction` of rows carry weight changes and
+  // each needs `pulses` programming pulses (1-2 for small SGD steps).
+  UpdateTiming delta_update(double pipeline_cycle_ns, double changed_fraction,
+                            std::size_t pulses) const;
+
+ private:
+  const ChipConfig* chip_;
+  std::size_t rows_;
+};
+
+}  // namespace reramdl::arch

@@ -1,0 +1,97 @@
+#include "baseline/gpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::baseline {
+
+GpuSpec gtx1080() { return GpuSpec{}; }
+
+GpuModel::GpuModel(GpuSpec spec) : spec_(std::move(spec)) {
+  RERAMDL_CHECK_GT(spec_.peak_flops, 0.0);
+  RERAMDL_CHECK_GT(spec_.mem_bandwidth, 0.0);
+}
+
+double GpuModel::efficiency(const nn::LayerSpec& layer) const {
+  switch (layer.kind) {
+    case nn::LayerKind::kConv: return spec_.eff_conv;
+    case nn::LayerKind::kDense: return spec_.eff_dense;
+    case nn::LayerKind::kTransposedConv: return spec_.eff_tconv;
+    default: return spec_.eff_other;
+  }
+}
+
+double GpuModel::layer_forward_time_s(const nn::LayerSpec& layer,
+                                      std::size_t batch) const {
+  RERAMDL_CHECK_GT(batch, 0u);
+  double macs = static_cast<double>(layer.macs_per_sample());
+  // cuDNN realizes a transposed conv as a strided GEMM rather than a literal
+  // zero-inserted convolution, so only 1/stride^2 of the dilated MACs are
+  // real work on the GPU (the crossbar mapping, in contrast, does process
+  // the dilated input — see nn/transposed_conv2d).
+  if (layer.kind == nn::LayerKind::kTransposedConv)
+    macs /= static_cast<double>(layer.stride * layer.stride);
+  const double flops = 2.0 * macs * static_cast<double>(batch);
+  const double compute_s = flops / (spec_.peak_flops * efficiency(layer));
+  // Weights load once per batch; activations stream per sample.
+  const double bytes =
+      4.0 * static_cast<double>(layer.weight_count()) +
+      static_cast<double>(layer.activation_bytes_per_sample()) *
+          static_cast<double>(batch);
+  const double memory_s = bytes / spec_.mem_bandwidth;
+  return std::max(compute_s, memory_s) + spec_.launch_overhead_s;
+}
+
+double GpuModel::network_pass_time_s(const nn::NetworkSpec& net,
+                                     std::size_t batch,
+                                     double flop_multiplier) const {
+  double t = 0.0;
+  for (const auto& l : net.layers)
+    t += layer_forward_time_s(l, batch) * flop_multiplier;
+  return t;
+}
+
+GpuCost GpuModel::inference_cost(const nn::NetworkSpec& net, std::size_t n,
+                                 std::size_t batch) const {
+  RERAMDL_CHECK_GT(batch, 0u);
+  RERAMDL_CHECK_EQ(n % batch, 0u);
+  const double batch_time = network_pass_time_s(net, batch, 1.0);
+  GpuCost c;
+  c.time_s = batch_time * static_cast<double>(n / batch);
+  c.energy_j = c.time_s * spec_.board_power_w;
+  return c;
+}
+
+GpuCost GpuModel::training_cost(const nn::NetworkSpec& net, std::size_t n,
+                                std::size_t batch) const {
+  RERAMDL_CHECK_GT(batch, 0u);
+  RERAMDL_CHECK_EQ(n % batch, 0u);
+  // forward + dX + dW passes: each backward pass re-runs the layer's
+  // contraction, so ~3x forward time per batch.
+  const double batch_time = network_pass_time_s(net, batch, 3.0);
+  GpuCost c;
+  c.time_s = batch_time * static_cast<double>(n / batch);
+  c.energy_j = c.time_s * spec_.board_power_w;
+  return c;
+}
+
+GpuCost GpuModel::gan_training_cost(const nn::NetworkSpec& generator,
+                                    const nn::NetworkSpec& discriminator,
+                                    std::size_t n, std::size_t batch) const {
+  RERAMDL_CHECK_GT(batch, 0u);
+  RERAMDL_CHECK_EQ(n % batch, 0u);
+  // ① D trains on a real batch (3x fwd), ② G forwards a fake batch (1x) and
+  // D trains on it (3x), ③ G updates through D (D fwd+dX: 2x; G 3x).
+  const double d_fwd = network_pass_time_s(discriminator, batch, 1.0);
+  const double g_fwd = network_pass_time_s(generator, batch, 1.0);
+  const double batch_time = 3.0 * d_fwd            // ①
+                            + g_fwd + 3.0 * d_fwd  // ②
+                            + 3.0 * g_fwd + 2.0 * d_fwd;  // ③
+  GpuCost c;
+  c.time_s = batch_time * static_cast<double>(n / batch);
+  c.energy_j = c.time_s * spec_.board_power_w;
+  return c;
+}
+
+}  // namespace reramdl::baseline

@@ -1,0 +1,69 @@
+// GPU baseline cost model (the paper's comparison platform: GTX 1080).
+//
+// The original evaluations measured wall-clock and power on real hardware;
+// here a roofline model stands in (see DESIGN.md, substitutions): per layer,
+// time = max(compute time at an achievable-efficiency fraction of peak,
+// memory time for weights + activations at peak bandwidth), and energy =
+// board power x time. Efficiency fractions per layer type encode the
+// well-known utilization gap of cuDNN kernels: dense convs run near peak,
+// FC / batch-norm / small fractional-strided convs are bandwidth- and
+// launch-bound — which is exactly why GAN training leaves so much more room
+// for a PIM accelerator (Table I row 2 vs row 1).
+#pragma once
+
+#include "nn/layer_spec.hpp"
+
+namespace reramdl::baseline {
+
+struct GpuSpec {
+  std::string name = "GTX 1080";
+  double peak_flops = 8.87e12;       // FP32
+  double mem_bandwidth = 320.0e9;    // bytes/s
+  double board_power_w = 180.0;
+  // Achievable fraction of peak FLOPS per layer kind.
+  double eff_conv = 0.55;
+  double eff_dense = 0.20;
+  double eff_tconv = 0.30;   // strided-GEMM tconv, below dense conv
+  double eff_other = 0.05;   // pool / activation / BN: bandwidth-bound
+  // Fixed per-layer kernel launch overhead.
+  double launch_overhead_s = 4.0e-6;
+};
+
+GpuSpec gtx1080();
+
+struct GpuCost {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec);
+
+  // Forward pass of one batch through one layer.
+  double layer_forward_time_s(const nn::LayerSpec& layer, std::size_t batch) const;
+
+  // Whole-network costs. Training costs ~3x the forward FLOPs (forward +
+  // input-gradient + weight-gradient passes) plus the optimizer update.
+  GpuCost inference_cost(const nn::NetworkSpec& net, std::size_t n,
+                         std::size_t batch) const;
+  GpuCost training_cost(const nn::NetworkSpec& net, std::size_t n,
+                        std::size_t batch) const;
+
+  // GAN training batch = D-on-real + D-on-fake (G forward + D train pass) +
+  // G update pass through both networks.
+  GpuCost gan_training_cost(const nn::NetworkSpec& generator,
+                            const nn::NetworkSpec& discriminator,
+                            std::size_t n, std::size_t batch) const;
+
+  const GpuSpec& spec() const { return spec_; }
+
+ private:
+  double efficiency(const nn::LayerSpec& layer) const;
+  double network_pass_time_s(const nn::NetworkSpec& net, std::size_t batch,
+                             double flop_multiplier) const;
+
+  GpuSpec spec_;
+};
+
+}  // namespace reramdl::baseline

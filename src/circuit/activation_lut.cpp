@@ -1,0 +1,45 @@
+#include "circuit/activation_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+ActivationLut::ActivationLut(std::function<double(double)> f, double lo,
+                             double hi, std::size_t index_bits)
+    : lo_(lo), hi_(hi) {
+  RERAMDL_CHECK_LT(lo, hi);
+  RERAMDL_CHECK_GE(index_bits, 1u);
+  RERAMDL_CHECK_LE(index_bits, 20u);
+  const std::size_t n = std::size_t{1} << index_bits;
+  table_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(n - 1);
+    table_[i] = f(x);
+  }
+}
+
+double ActivationLut::apply(double x) const {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const double idx = t * static_cast<double>(table_.size() - 1);
+  const long i = std::lround(std::clamp(
+      idx, 0.0, static_cast<double>(table_.size() - 1)));
+  return table_[static_cast<std::size_t>(i)];
+}
+
+double ActivationLut::max_error(const std::function<double(double)>& f,
+                                std::size_t samples) const {
+  RERAMDL_CHECK_GE(samples, 2u);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x = lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                              static_cast<double>(samples - 1);
+    worst = std::max(worst, std::abs(f(x) - apply(x)));
+  }
+  return worst;
+}
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,36 @@
+// Configurable look-up-table activation (ReGAN Fig. 10-B): the subtractor's
+// merged pos/neg result indexes a 2^bits-entry table sampling the activation
+// function over a fixed input range. PipeLayer's dedicated activation unit is
+// the same component with the function fixed to ReLU.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace reramdl::circuit {
+
+class ActivationLut {
+ public:
+  // Samples f over [lo, hi] into 2^index_bits entries.
+  ActivationLut(std::function<double(double)> f, double lo, double hi,
+                std::size_t index_bits);
+
+  // Nearest-entry lookup; inputs outside [lo, hi] clamp to the edge entries
+  // (the hardware table has no entries beyond its range).
+  double apply(double x) const;
+
+  std::size_t entries() const { return table_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  // Worst-case |f(x) - apply(x)| over a dense sample of [lo, hi]; used by
+  // the accuracy ablation to pick the table size.
+  double max_error(const std::function<double(double)>& f,
+                   std::size_t samples = 10000) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> table_;
+};
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,83 @@
+#include "circuit/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+SarAdc::SarAdc(AdcParams params)
+    : params_(params),
+      max_code_((std::uint32_t{1} << params.bits) - 1) {
+  RERAMDL_CHECK_GE(params.bits, 1u);
+  RERAMDL_CHECK_LE(params.bits, 16u);
+  RERAMDL_CHECK_GT(params.conversion_ns, 0.0);
+}
+
+std::uint32_t SarAdc::convert(double analog, double full_scale) {
+  RERAMDL_CHECK_GT(full_scale, 0.0);
+  ++conversions_;
+  const double t = std::clamp(analog / full_scale, 0.0, 1.0);
+  return static_cast<std::uint32_t>(
+      std::lround(t * static_cast<double>(max_code_)));
+}
+
+double SarAdc::reconstruct(std::uint32_t code, double full_scale) const {
+  RERAMDL_CHECK_LE(code, max_code_);
+  return static_cast<double>(code) / static_cast<double>(max_code_) * full_scale;
+}
+
+double SarAdc::energy_pj() const {
+  return static_cast<double>(conversions_) * params_.energy_per_conversion_pj;
+}
+
+ConversionCosts spike_scheme_costs(std::size_t rows, std::size_t cols,
+                                   std::size_t input_bits,
+                                   const device::CellParams& cell) {
+  RERAMDL_CHECK_GT(rows, 0u);
+  RERAMDL_CHECK_GT(cols, 0u);
+  RERAMDL_CHECK_GE(input_bits, 1u);
+  ConversionCosts c;
+  // One spike phase per input bit; each phase reads every cell of the array
+  // and clocks the per-column I&F + counter.
+  const double per_phase_read =
+      static_cast<double>(rows * cols) * cell.read_energy_per_spike_pj;
+  const double inf_counter_pj = 0.05;  // per column per phase
+  c.energy_pj = static_cast<double>(input_bits) *
+                (per_phase_read + static_cast<double>(cols) * inf_counter_pj);
+  // Phases are serial; each phase is one array read window.
+  const double phase_ns = 3.18;  // 50.88 ns cycle / 16 phases at full precision
+  c.latency_ns = static_cast<double>(input_bits) * phase_ns;
+  // Spike driver per row + I&F/counter per column: tiny digital cells.
+  c.area_mm2 = static_cast<double>(rows) * 0.00001 +
+               static_cast<double>(cols) * 0.00004;
+  return c;
+}
+
+ConversionCosts adc_scheme_costs(std::size_t rows, std::size_t cols,
+                                 std::size_t input_bits, const AdcParams& adc,
+                                 const DacParams& dac,
+                                 std::size_t cols_per_adc) {
+  RERAMDL_CHECK_GT(cols_per_adc, 0u);
+  RERAMDL_CHECK_GE(input_bits, 1u);
+  ConversionCosts c;
+  const std::size_t adcs = (cols + cols_per_adc - 1) / cols_per_adc;
+  // Voltage mode still streams input_bits / dac.bits input slices; each
+  // slice needs every row's DAC to settle and every column to be digitized.
+  const std::size_t slices = (input_bits + dac.bits - 1) / dac.bits;
+  const double per_slice_energy =
+      static_cast<double>(rows) * dac.energy_per_op_pj +
+      static_cast<double>(cols) * adc.energy_per_conversion_pj;
+  c.energy_pj = static_cast<double>(slices) * per_slice_energy;
+  // ADCs time-multiplex their column group.
+  const double per_slice_ns =
+      dac.settle_ns +
+      adc.conversion_ns * static_cast<double>(cols_per_adc);
+  c.latency_ns = static_cast<double>(slices) * per_slice_ns;
+  c.area_mm2 = static_cast<double>(adcs) * adc.area_mm2 +
+               static_cast<double>(rows) * dac.area_mm2;
+  return c;
+}
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,74 @@
+// Voltage-mode conversion circuits: the DAC + SAR-ADC input/output scheme
+// ISAAC uses, modeled as the alternative to PipeLayer's weighted-spike
+// coding + integrate-and-fire scheme. PipeLayer adopts spikes specifically
+// "to further reduce the area and energy overhead" of ADCs; the
+// scheme-comparison helpers quantify that trade-off and feed the hardware
+// ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "device/reram_cell.hpp"
+
+namespace reramdl::circuit {
+
+// Successive-approximation ADC. Constants follow the 8-bit 1.2 GS/s ADC
+// ISAAC budgets per crossbar column group.
+struct AdcParams {
+  std::size_t bits = 8;
+  double conversion_ns = 0.83;       // 1.2 GS/s
+  double energy_per_conversion_pj = 2.0;
+  double area_mm2 = 0.0012;
+};
+
+class SarAdc {
+ public:
+  explicit SarAdc(AdcParams params);
+
+  // Convert an analog value in [0, full_scale] to a code in [0, 2^bits - 1].
+  std::uint32_t convert(double analog, double full_scale);
+  // Value a code represents.
+  double reconstruct(std::uint32_t code, double full_scale) const;
+
+  std::uint32_t max_code() const { return max_code_; }
+  std::uint64_t conversions() const { return conversions_; }
+  double energy_pj() const;
+  const AdcParams& params() const { return params_; }
+
+ private:
+  AdcParams params_;
+  std::uint32_t max_code_;
+  std::uint64_t conversions_ = 0;
+};
+
+// Row driver DAC for voltage-mode inputs.
+struct DacParams {
+  std::size_t bits = 8;
+  double settle_ns = 1.0;
+  double energy_per_op_pj = 0.2;
+  double area_mm2 = 0.00002;
+};
+
+// Per-MVM conversion-path costs of the two input/output schemes on one
+// rows x cols array.
+struct ConversionCosts {
+  double energy_pj = 0.0;
+  double latency_ns = 0.0;
+  double area_mm2 = 0.0;
+};
+
+// Weighted-spike scheme (PipeLayer): input_bits serial spike phases drive
+// the wordlines; each column integrates-and-fires into a counter. No ADC.
+ConversionCosts spike_scheme_costs(std::size_t rows, std::size_t cols,
+                                   std::size_t input_bits,
+                                   const device::CellParams& cell);
+
+// Voltage-mode scheme (ISAAC-style): one DAC settle per row, then the
+// bitline sample is digitized by ADCs shared across `cols_per_adc` columns.
+ConversionCosts adc_scheme_costs(std::size_t rows, std::size_t cols,
+                                 std::size_t input_bits, const AdcParams& adc,
+                                 const DacParams& dac,
+                                 std::size_t cols_per_adc = 8);
+
+}  // namespace reramdl::circuit

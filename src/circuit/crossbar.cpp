@@ -1,0 +1,175 @@
+#include "circuit/crossbar.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+std::size_t CrossbarConfig::slices() const {
+  RERAMDL_CHECK_GT(cell.bits_per_cell, 0u);
+  RERAMDL_CHECK_EQ(weight_bits % cell.bits_per_cell, 0u);
+  return weight_bits / cell.bits_per_cell;
+}
+
+Crossbar::Crossbar(const CrossbarConfig& config) : config_(config) {
+  RERAMDL_CHECK_GT(config.rows, 0u);
+  RERAMDL_CHECK_GT(config.cols, 0u);
+  RERAMDL_CHECK_GE(config.weight_bits, 1u);
+  RERAMDL_CHECK_GE(config.input_bits, 1u);
+  (void)config_.slices();  // validates divisibility
+}
+
+void Crossbar::program(const Tensor& weights, double w_max,
+                       device::VariationModel* variation) {
+  RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
+  r_ = weights.shape()[0];
+  c_ = weights.shape()[1];
+  RERAMDL_CHECK_LE(r_, config_.rows);
+  RERAMDL_CHECK_LE(c_, config_.cols);
+  RERAMDL_CHECK_GT(w_max, 0.0);
+  w_max_ = w_max;
+
+  const std::size_t num_slices = config_.slices();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  const double slice_max =
+      static_cast<double>((std::uint64_t{1} << bpc) - 1);
+  const device::LinearQuantizer wq(config_.weight_bits, w_max);
+
+  levels_.assign(num_slices,
+                 std::vector<std::vector<double>>(2, std::vector<double>(r_ * c_, 0.0)));
+
+  for (std::size_t i = 0; i < r_; ++i) {
+    for (std::size_t j = 0; j < c_; ++j) {
+      const std::int64_t q = wq.quantize(weights.at(i, j));
+      const std::size_t polarity = q < 0 ? 1 : 0;
+      const std::uint64_t mag = static_cast<std::uint64_t>(q < 0 ? -q : q);
+      const auto slices = device::bit_slice(mag, bpc, num_slices);
+      for (std::size_t s = 0; s < num_slices; ++s) {
+        double level = static_cast<double>(slices[s]);
+        // Both polarities' cells exist physically; only the used one holds a
+        // non-zero level, but variation / faults can disturb either.
+        double other = 0.0;
+        if (variation != nullptr) {
+          level = variation->perturb(level, slice_max);
+          other = variation->perturb(other, slice_max);
+        }
+        levels_[s][polarity][i * c_ + j] = level;
+        levels_[s][1 - polarity][i * c_ + j] = other;
+      }
+    }
+  }
+  stats_.programmed_cells += r_ * c_ * num_slices * 2;
+}
+
+void Crossbar::apply_drift(double factor) {
+  RERAMDL_CHECK_GT(factor, 0.0);
+  RERAMDL_CHECK_LE(factor, 1.0);
+  for (auto& slice : levels_)
+    for (auto& polarity : slice)
+      for (auto& level : polarity) level *= factor;
+}
+
+std::vector<float> Crossbar::compute(const std::vector<float>& x, double x_max) {
+  RERAMDL_CHECK_EQ(x.size(), r_);
+  RERAMDL_CHECK_GT(w_max_, 0.0);
+  RERAMDL_CHECK_GT(x_max, 0.0);
+
+  const device::LinearQuantizer xq(config_.input_bits, x_max);
+  std::vector<std::int64_t> x_int(r_);
+  for (std::size_t i = 0; i < r_; ++i) {
+    x_int[i] = xq.quantize(x[i]);
+    const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(x_int[i]));
+    stats_.input_spikes += static_cast<std::uint64_t>(std::popcount(mag));
+  }
+
+  const std::vector<double> acc =
+      config_.bit_serial ? compute_bit_serial(x_int) : compute_fast(x_int);
+
+  // Scale integer result back to value domain:
+  // y = sum_i w_int[i] * x_int[i] * w_step * x_step.
+  const device::LinearQuantizer wq(config_.weight_bits, w_max_);
+  const double scale = wq.step() * xq.step();
+  std::vector<float> y(c_);
+  for (std::size_t j = 0; j < c_; ++j)
+    y[j] = static_cast<float>(acc[j] * scale);
+  ++stats_.compute_ops;
+  return y;
+}
+
+std::vector<double> Crossbar::compute_fast(
+    const std::vector<std::int64_t>& x_int) const {
+  const std::size_t num_slices = levels_.size();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  std::vector<double> acc(c_, 0.0);
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    const double weight = static_cast<double>(std::uint64_t{1} << (s * bpc));
+    const auto& pos = levels_[s][0];
+    const auto& neg = levels_[s][1];
+    for (std::size_t i = 0; i < r_; ++i) {
+      const double xi = static_cast<double>(x_int[i]);
+      if (xi == 0.0) continue;
+      const std::size_t base = i * c_;
+      for (std::size_t j = 0; j < c_; ++j)
+        acc[j] += xi * weight * (pos[base + j] - neg[base + j]);
+    }
+  }
+  return acc;
+}
+
+std::vector<double> Crossbar::compute_bit_serial(
+    const std::vector<std::int64_t>& x_int) {
+  // Emulates the spike driver + I&F + counter + shift-add path cycle by
+  // cycle: one wordline spike phase per (input bit, sign phase); per column
+  // the integrated current is counted with saturation at 2^counter_bits - 1.
+  const std::size_t num_slices = levels_.size();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  const double counter_max =
+      static_cast<double>((std::uint64_t{1} << config_.counter_bits) - 1);
+
+  std::vector<double> acc(c_, 0.0);
+  for (int phase = 0; phase < 2; ++phase) {  // 0: positive inputs, 1: negative
+    for (std::size_t b = 0; b < config_.input_bits; ++b) {
+      const double bit_weight = static_cast<double>(std::uint64_t{1} << b);
+      for (std::size_t s = 0; s < num_slices; ++s) {
+        const double slice_weight =
+            static_cast<double>(std::uint64_t{1} << (s * bpc));
+        const auto& pos = levels_[s][0];
+        const auto& neg = levels_[s][1];
+        // Integrate bitline currents for this spike cycle.
+        std::vector<double> col_pos(c_, 0.0), col_neg(c_, 0.0);
+        for (std::size_t i = 0; i < r_; ++i) {
+          const std::int64_t xi = x_int[i];
+          const bool this_phase = (phase == 0) ? (xi > 0) : (xi < 0);
+          if (!this_phase) continue;
+          const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(xi));
+          if (((mag >> b) & 1u) == 0) continue;
+          const std::size_t base = i * c_;
+          for (std::size_t j = 0; j < c_; ++j) {
+            col_pos[j] += pos[base + j];
+            col_neg[j] += neg[base + j];
+          }
+        }
+        // I&F counters clamp each column's count for this cycle.
+        const double sign = (phase == 0) ? 1.0 : -1.0;
+        for (std::size_t j = 0; j < c_; ++j) {
+          double cp = col_pos[j], cn = col_neg[j];
+          if (cp > counter_max) {
+            cp = counter_max;
+            ++stats_.saturated_counters;
+          }
+          if (cn > counter_max) {
+            cn = counter_max;
+            ++stats_.saturated_counters;
+          }
+          acc[j] += sign * bit_weight * slice_weight * (cp - cn);
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace reramdl::circuit

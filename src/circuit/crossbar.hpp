@@ -1,0 +1,86 @@
+// A single ReRAM crossbar array (paper Fig. 3b).
+//
+// The matrix is programmed into cell conductances; input vectors arrive as
+// weighted spike trains on the wordlines; bitline currents are integrated by
+// I&F circuits and counted, producing digital partial results that a
+// shift-and-add tree recombines across weight bit-slices and input bits.
+//
+// Signed values are realized structurally:
+//   * weights: a differential pair of arrays (positive / negative magnitudes,
+//     merged by the subtractor — ReGAN Fig. 10-B);
+//   * weight precision: weight_bits total, bit-sliced over
+//     weight_bits / bits_per_cell cells per polarity (ISAAC-style);
+//   * inputs: input_bits magnitude driven bit-serially by the spike driver,
+//     sign handled in a separate drive phase.
+//
+// Two evaluation paths produce identical results when no I&F counter
+// saturates (asserted by property tests): a fast integer path, and an exact
+// bit-serial emulation that models every spike cycle and counter clamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/quantizer.hpp"
+#include "device/reram_cell.hpp"
+#include "device/variation.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reramdl::circuit {
+
+struct CrossbarConfig {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  std::size_t weight_bits = 16;  // magnitude bits per polarity
+  std::size_t input_bits = 8;    // magnitude bits
+  std::size_t counter_bits = 16; // I&F output counter width
+  bool bit_serial = false;       // exact spike-level emulation
+  device::CellParams cell;
+
+  std::size_t slices() const;  // weight_bits / bits_per_cell (exact multiple)
+};
+
+struct CrossbarStats {
+  std::uint64_t programmed_cells = 0;
+  std::uint64_t compute_ops = 0;      // MVM activations
+  std::uint64_t input_spikes = 0;     // total '1' spikes driven
+  std::uint64_t saturated_counters = 0;
+};
+
+class Crossbar {
+ public:
+  explicit Crossbar(const CrossbarConfig& config);
+
+  // Program a weight matrix [r, c] (r <= rows, c <= cols); values are
+  // clipped to [-w_max, w_max]. Optional variation model perturbs the stored
+  // levels per cell.
+  void program(const Tensor& weights, double w_max,
+               device::VariationModel* variation = nullptr);
+
+  // Matrix-vector product for inputs clipped to [-x_max, x_max]; returns c
+  // outputs in float. The crossbar must be programmed first.
+  std::vector<float> compute(const std::vector<float>& x, double x_max);
+
+  // Apply a multiplicative retention-drift factor to every stored level
+  // (device::RetentionModel::drift_factor); models inference after the
+  // arrays have aged `t` without reprogramming.
+  void apply_drift(double factor);
+
+  const CrossbarConfig& config() const { return config_; }
+  const CrossbarStats& stats() const { return stats_; }
+  std::size_t active_rows() const { return r_; }
+  std::size_t active_cols() const { return c_; }
+
+ private:
+  std::vector<double> compute_fast(const std::vector<std::int64_t>& x_int) const;
+  std::vector<double> compute_bit_serial(const std::vector<std::int64_t>& x_int);
+
+  CrossbarConfig config_;
+  std::size_t r_ = 0, c_ = 0;
+  double w_max_ = 0.0;
+  // Effective per-cell levels: [slice][polarity(0=pos,1=neg)][r * c_].
+  std::vector<std::vector<std::vector<double>>> levels_;
+  CrossbarStats stats_;
+};
+
+}  // namespace reramdl::circuit

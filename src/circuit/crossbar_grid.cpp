@@ -1,0 +1,74 @@
+#include "circuit/crossbar_grid.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+CrossbarGrid::CrossbarGrid(const CrossbarConfig& config) : config_(config) {}
+
+void CrossbarGrid::program(const Tensor& weights, double w_max,
+                           device::VariationModel* variation) {
+  RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
+  total_rows_ = weights.shape()[0];
+  total_cols_ = weights.shape()[1];
+  row_tiles_ = (total_rows_ + config_.rows - 1) / config_.rows;
+  col_tiles_ = (total_cols_ + config_.cols - 1) / config_.cols;
+
+  arrays_.clear();
+  arrays_.reserve(row_tiles_ * col_tiles_);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * config_.rows;
+    const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * config_.cols;
+      const std::size_t c1 = std::min(c0 + config_.cols, total_cols_);
+      Tensor tile(Shape{r1 - r0, c1 - c0});
+      for (std::size_t i = r0; i < r1; ++i)
+        for (std::size_t j = c0; j < c1; ++j)
+          tile.at(i - r0, j - c0) = weights.at(i, j);
+      Crossbar xbar(config_);
+      xbar.program(tile, w_max, variation);
+      arrays_.push_back(std::move(xbar));
+    }
+  }
+}
+
+std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
+                                         double x_max) {
+  RERAMDL_CHECK_EQ(x.size(), total_rows_);
+  RERAMDL_CHECK(!arrays_.empty());
+  std::vector<float> y(total_cols_, 0.0f);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * config_.rows;
+    const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
+    const std::vector<float> xin(x.begin() + static_cast<long>(r0),
+                                 x.begin() + static_cast<long>(r1));
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * config_.cols;
+      auto& xbar = arrays_[rt * col_tiles_ + ct];
+      const std::vector<float> partial = xbar.compute(xin, x_max);
+      // Vertical summation of the horizontally collected partial results.
+      for (std::size_t j = 0; j < partial.size(); ++j) y[c0 + j] += partial[j];
+    }
+  }
+  return y;
+}
+
+void CrossbarGrid::apply_drift(double factor) {
+  for (auto& a : arrays_) a.apply_drift(factor);
+}
+
+CrossbarStats CrossbarGrid::aggregate_stats() const {
+  CrossbarStats total;
+  for (const auto& a : arrays_) {
+    total.programmed_cells += a.stats().programmed_cells;
+    total.compute_ops += a.stats().compute_ops;
+    total.input_spikes += a.stats().input_spikes;
+    total.saturated_counters += a.stats().saturated_counters;
+  }
+  return total;
+}
+
+}  // namespace reramdl::circuit

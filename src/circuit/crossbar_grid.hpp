@@ -1,0 +1,42 @@
+// Multi-array composition for matrices that exceed one crossbar
+// (paper Fig. 3c): the weight matrix is partitioned into array-sized tiles;
+// inputs are partitioned across row groups; each array emits a partial sum
+// that is "collected horizontally and summed vertically".
+#pragma once
+
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+
+namespace reramdl::circuit {
+
+class CrossbarGrid {
+ public:
+  explicit CrossbarGrid(const CrossbarConfig& config);
+
+  // Program a full [R, C] matrix across ceil(R/rows) x ceil(C/cols) arrays.
+  void program(const Tensor& weights, double w_max,
+               device::VariationModel* variation = nullptr);
+
+  // y[C] = W^T-free MVM: x has R entries.
+  std::vector<float> compute(const std::vector<float>& x, double x_max);
+
+  // Age every array (retention drift).
+  void apply_drift(double factor);
+
+  std::size_t row_tiles() const { return row_tiles_; }
+  std::size_t col_tiles() const { return col_tiles_; }
+  std::size_t num_arrays() const { return arrays_.size(); }
+  std::size_t total_rows() const { return total_rows_; }
+  std::size_t total_cols() const { return total_cols_; }
+
+  CrossbarStats aggregate_stats() const;
+
+ private:
+  CrossbarConfig config_;
+  std::size_t total_rows_ = 0, total_cols_ = 0;
+  std::size_t row_tiles_ = 0, col_tiles_ = 0;
+  std::vector<Crossbar> arrays_;  // row-major [row_tile][col_tile]
+};
+
+}  // namespace reramdl::circuit

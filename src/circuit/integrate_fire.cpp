@@ -1,0 +1,27 @@
+#include "circuit/integrate_fire.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+IntegrateFire::IntegrateFire(double threshold, std::size_t counter_bits)
+    : threshold_(threshold),
+      max_count_((std::uint64_t{1} << counter_bits) - 1) {
+  RERAMDL_CHECK_GT(threshold, 0.0);
+  RERAMDL_CHECK_GE(counter_bits, 1u);
+  RERAMDL_CHECK_LE(counter_bits, 63u);
+}
+
+std::uint64_t IntegrateFire::convert(double integrated_charge) {
+  RERAMDL_CHECK_GE(integrated_charge, 0.0);
+  const double fires = std::floor(integrated_charge / threshold_);
+  if (fires > static_cast<double>(max_count_)) {
+    ++saturation_events_;
+    return max_count_;
+  }
+  return static_cast<std::uint64_t>(fires);
+}
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,30 @@
+// Integration-and-fire circuit (PipeLayer component (b)): integrates bitline
+// current over a spike phase and emits output spikes that a counter
+// accumulates — effectively an analog-to-digital conversion whose resolution
+// is set by the fire threshold and whose range is set by the counter width.
+#pragma once
+
+#include <cstdint>
+
+namespace reramdl::circuit {
+
+class IntegrateFire {
+ public:
+  // threshold: integrated charge per output spike; counter_bits: output
+  // counter width (counts clamp at 2^counter_bits - 1).
+  IntegrateFire(double threshold, std::size_t counter_bits);
+
+  // Convert an integrated current (arbitrary charge units) into a spike
+  // count. Residual charge below threshold is truncated, as in hardware.
+  std::uint64_t convert(double integrated_charge);
+
+  std::uint64_t max_count() const { return max_count_; }
+  std::uint64_t saturation_events() const { return saturation_events_; }
+
+ private:
+  double threshold_;
+  std::uint64_t max_count_;
+  std::uint64_t saturation_events_ = 0;
+};
+
+}  // namespace reramdl::circuit

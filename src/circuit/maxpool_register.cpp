@@ -1,0 +1,3 @@
+#include "circuit/maxpool_register.hpp"
+
+// Header-only component; this TU anchors the library target.

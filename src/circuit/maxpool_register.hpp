@@ -1,0 +1,25 @@
+// Max-pooling register (PipeLayer component (c) note): "a register is used
+// to keep the maximum value of a sequence" — outputs stream past it and it
+// retains the running maximum of the pooling window.
+#pragma once
+
+#include <limits>
+
+namespace reramdl::circuit {
+
+class MaxPoolRegister {
+ public:
+  void reset() { value_ = -std::numeric_limits<double>::infinity(); seen_ = 0; }
+  void observe(double x) {
+    if (seen_ == 0 || x > value_) value_ = x;
+    ++seen_;
+  }
+  double value() const { return value_; }
+  std::size_t seen() const { return seen_; }
+
+ private:
+  double value_ = -std::numeric_limits<double>::infinity();
+  std::size_t seen_ = 0;
+};
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,41 @@
+#include "circuit/spike_driver.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace reramdl::circuit {
+
+std::size_t SpikeTrain::spike_count() const {
+  std::size_t n = 0;
+  for (auto b : bits) n += b;
+  return n;
+}
+
+SpikeDriver::SpikeDriver(std::size_t input_bits, double x_max)
+    : input_bits_(input_bits), quantizer_(input_bits, x_max) {
+  RERAMDL_CHECK_GE(input_bits, 1u);
+}
+
+SpikeTrain SpikeDriver::encode(double value) const {
+  const std::int64_t q = quantizer_.quantize(value);
+  SpikeTrain t;
+  t.negative = q < 0;
+  const std::uint64_t mag = static_cast<std::uint64_t>(q < 0 ? -q : q);
+  t.bits.resize(input_bits_);
+  for (std::size_t b = 0; b < input_bits_; ++b)
+    t.bits[b] = static_cast<std::uint8_t>((mag >> b) & 1u);
+  return t;
+}
+
+double SpikeDriver::decode(const SpikeTrain& train) const {
+  RERAMDL_CHECK_EQ(train.bits.size(), input_bits_);
+  std::uint64_t mag = 0;
+  for (std::size_t b = 0; b < input_bits_; ++b)
+    if (train.bits[b]) mag |= std::uint64_t{1} << b;
+  const std::int64_t q =
+      train.negative ? -static_cast<std::int64_t>(mag) : static_cast<std::int64_t>(mag);
+  return quantizer_.dequantize(q);
+}
+
+}  // namespace reramdl::circuit

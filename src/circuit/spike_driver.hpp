@@ -1,0 +1,39 @@
+// Spike driver (PipeLayer component (a)): converts a digital input value to
+// the weighted spike train driven onto a wordline, and serves as the write
+// driver during weight updates. The weighted spike coding scheme sends one
+// spike phase per input bit with significance 2^b, so an n-bit input needs n
+// phases instead of 2^n unary spikes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/quantizer.hpp"
+
+namespace reramdl::circuit {
+
+struct SpikeTrain {
+  bool negative = false;                // drive phase polarity
+  std::vector<std::uint8_t> bits;       // bits[b] = spike present in phase b
+  std::size_t spike_count() const;
+};
+
+class SpikeDriver {
+ public:
+  SpikeDriver(std::size_t input_bits, double x_max);
+
+  // Encode a value into its weighted spike train.
+  SpikeTrain encode(double value) const;
+  // Reconstruct the value represented by a spike train (driver DAC inverse;
+  // used in tests to show encode is lossless up to quantization).
+  double decode(const SpikeTrain& train) const;
+
+  std::size_t input_bits() const { return input_bits_; }
+  const device::LinearQuantizer& quantizer() const { return quantizer_; }
+
+ private:
+  std::size_t input_bits_;
+  device::LinearQuantizer quantizer_;
+};
+
+}  // namespace reramdl::circuit

@@ -1,0 +1,63 @@
+// Lightweight precondition / invariant checking used across the simulator.
+//
+// CHECK(cond) and the comparison forms throw reramdl::CheckError (a
+// std::logic_error) with the failing expression and source location. They are
+// always on: a PIM simulator silently computing on a mis-shaped tensor or an
+// out-of-range conductance produces plausible garbage, which is far more
+// expensive than the branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace reramdl {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& extra = {}) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " (" << extra << ")";
+  throw CheckError(os.str());
+}
+
+template <typename A, typename B>
+[[noreturn]] void check_cmp_fail(const char* expr, const char* file, int line,
+                                 const A& a, const B& b) {
+  std::ostringstream os;
+  os << "lhs=" << a << " rhs=" << b;
+  check_fail(expr, file, line, os.str());
+}
+
+}  // namespace detail
+}  // namespace reramdl
+
+#define RERAMDL_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) ::reramdl::detail::check_fail(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+// Operands are captured by value: expressions like std::max(x, y) return
+// references to temporaries that would dangle past the initializer.
+#define RERAMDL_CHECK_CMP(a, b, op)                                         \
+  do {                                                                      \
+    const auto rerdl_a_ = (a);                                              \
+    const auto rerdl_b_ = (b);                                              \
+    if (!(rerdl_a_ op rerdl_b_))                                            \
+      ::reramdl::detail::check_cmp_fail(#a " " #op " " #b, __FILE__,        \
+                                        __LINE__, rerdl_a_, rerdl_b_);      \
+  } while (false)
+
+#define RERAMDL_CHECK_EQ(a, b) RERAMDL_CHECK_CMP(a, b, ==)
+#define RERAMDL_CHECK_NE(a, b) RERAMDL_CHECK_CMP(a, b, !=)
+#define RERAMDL_CHECK_LT(a, b) RERAMDL_CHECK_CMP(a, b, <)
+#define RERAMDL_CHECK_LE(a, b) RERAMDL_CHECK_CMP(a, b, <=)
+#define RERAMDL_CHECK_GT(a, b) RERAMDL_CHECK_CMP(a, b, >)
+#define RERAMDL_CHECK_GE(a, b) RERAMDL_CHECK_CMP(a, b, >=)

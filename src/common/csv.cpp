@@ -1,0 +1,57 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace reramdl {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RERAMDL_CHECK(!headers_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  RERAMDL_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace reramdl

@@ -1,0 +1,32 @@
+// Minimal CSV writer for exporting bench tables and sweep results to files
+// that plotting scripts can consume.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reramdl {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  // RFC-4180-style escaping: cells containing commas, quotes or newlines are
+  // quoted, embedded quotes doubled.
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+  // Returns false (and leaves no file) if the path cannot be opened.
+  bool save(const std::string& path) const;
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reramdl

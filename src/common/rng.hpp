@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (weight init, synthetic
+// datasets, device variation, fault injection) draws from an explicitly
+// seeded Rng so that runs — and therefore tests and benchmark tables — are
+// reproducible bit-for-bit across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reramdl {
+
+// xoshiro256** seeded via splitmix64. Small, fast, and good enough
+// statistical quality for Monte-Carlo device-variation sweeps.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  // Lognormal with the given sigma of the underlying normal, mean 1 of the
+  // underlying normal's exp adjusted so E[value] == 1 (used for conductance
+  // variation: multiplicative noise that does not bias the mean).
+  double lognormal_unit_mean(double sigma);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Derive an independent stream (for per-module seeding).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Fisher-Yates shuffle of an index permutation [0, n).
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng);
+
+}  // namespace reramdl

@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  RERAMDL_CHECK_GT(n_, 0u);
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  RERAMDL_CHECK_GT(n_, 0u);
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  RERAMDL_CHECK_GT(n_, 0u);
+  return min_;
+}
+
+double RunningStat::max() const {
+  RERAMDL_CHECK_GT(n_, 0u);
+  return max_;
+}
+
+double geomean(const std::vector<double>& values) {
+  RERAMDL_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    RERAMDL_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double rmse(const std::vector<float>& a, const std::vector<float>& b) {
+  RERAMDL_CHECK_EQ(a.size(), b.size());
+  RERAMDL_CHECK(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  RERAMDL_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace reramdl

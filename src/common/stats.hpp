@@ -1,0 +1,38 @@
+// Streaming statistics and small numeric helpers shared by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reramdl {
+
+// Welford streaming mean / variance plus min / max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Geometric mean of strictly positive values; used for speedup aggregation
+// exactly as accelerator papers report "average" speedups.
+double geomean(const std::vector<double>& values);
+
+// Root-mean-square error between two equal-length sequences.
+double rmse(const std::vector<float>& a, const std::vector<float>& b);
+
+// Max absolute difference.
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace reramdl

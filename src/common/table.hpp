@@ -1,0 +1,29 @@
+// ASCII table printer used by the benchmark harness to emit paper-style
+// tables (Table I, per-figure series) in a uniform format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reramdl {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_times(double v, int precision = 2);  // "42.45x"
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reramdl

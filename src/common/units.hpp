@@ -1,0 +1,26 @@
+// Unit conventions used throughout the architectural models.
+//
+// All latencies are carried in nanoseconds, energies in picojoules, areas in
+// square micrometres, and powers in watts unless a name says otherwise. The
+// constants below convert between reporting units.
+#pragma once
+
+namespace reramdl::units {
+
+inline constexpr double kNsPerUs = 1e3;
+inline constexpr double kNsPerMs = 1e6;
+inline constexpr double kNsPerS = 1e9;
+
+inline constexpr double kPjPerNj = 1e3;
+inline constexpr double kPjPerUj = 1e6;
+inline constexpr double kPjPerMj = 1e9;
+inline constexpr double kPjPerJ = 1e12;
+
+inline constexpr double kUm2PerMm2 = 1e6;
+
+// power [W] = energy [pJ] / time [ns] * (1e-12 J/pJ) / (1e-9 s/ns)
+inline constexpr double watts(double energy_pj, double time_ns) {
+  return energy_pj / time_ns * 1e-3;
+}
+
+}  // namespace reramdl::units

@@ -1,0 +1,15 @@
+#include "core/accelerator_config.hpp"
+
+namespace reramdl::core {
+
+circuit::CrossbarConfig AcceleratorConfig::crossbar_config() const {
+  circuit::CrossbarConfig c;
+  c.rows = chip.array_rows;
+  c.cols = chip.array_cols;
+  c.weight_bits = weight_bits;
+  c.input_bits = input_bits;
+  c.cell = chip.cell;
+  return c;
+}
+
+}  // namespace reramdl::core

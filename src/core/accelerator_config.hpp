@@ -1,0 +1,43 @@
+// Top-level accelerator configuration: chip organization + functional
+// crossbar precision + the array budget the replication planner may spend.
+#pragma once
+
+#include "arch/params.hpp"
+#include "circuit/crossbar.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace reramdl::core {
+
+struct AcceleratorConfig {
+  arch::ChipConfig chip;
+  // Functional crossbar precision (bit-slicing, input bits). rows/cols are
+  // taken from the chip's array dims.
+  std::size_t weight_bits = 16;
+  std::size_t input_bits = 8;
+  // Array budget for the replication planner; 0 means the chip's full
+  // morphable capacity.
+  std::size_t max_arrays = 0;
+
+  std::size_t array_budget() const {
+    return max_arrays != 0 ? max_arrays : chip.total_compute_arrays();
+  }
+  mapping::MappingConfig mapping_config() const {
+    return {chip.array_rows, chip.array_cols};
+  }
+  circuit::CrossbarConfig crossbar_config() const;
+};
+
+// Performance / energy / area summary of one simulated execution.
+struct TimingReport {
+  std::uint64_t pipeline_cycles = 0;  // paper-formula cycles
+  std::size_t stage_steps = 1;        // array activations per pipeline cycle
+  double cycle_ns = 0.0;              // stage_steps * array latency
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double power_w = 0.0;
+  double throughput_sps = 0.0;        // samples per second
+  std::size_t arrays_used = 0;
+  double area_mm2 = 0.0;
+};
+
+}  // namespace reramdl::core

@@ -1,0 +1,33 @@
+#include "core/comparison.hpp"
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace reramdl::core {
+
+Comparison compare(std::string workload, const TimingReport& accel,
+                   const baseline::GpuCost& gpu) {
+  RERAMDL_CHECK_GT(accel.time_s, 0.0);
+  RERAMDL_CHECK_GT(accel.energy_j, 0.0);
+  Comparison c;
+  c.workload = std::move(workload);
+  c.accel_time_s = accel.time_s;
+  c.gpu_time_s = gpu.time_s;
+  c.accel_energy_j = accel.energy_j;
+  c.gpu_energy_j = gpu.energy_j;
+  return c;
+}
+
+ComparisonSummary summarize(const std::vector<Comparison>& rows) {
+  RERAMDL_CHECK(!rows.empty());
+  std::vector<double> speedups, savings;
+  speedups.reserve(rows.size());
+  savings.reserve(rows.size());
+  for (const auto& r : rows) {
+    speedups.push_back(r.speedup());
+    savings.push_back(r.energy_saving());
+  }
+  return {geomean(speedups), geomean(savings)};
+}
+
+}  // namespace reramdl::core

@@ -1,0 +1,33 @@
+// Accelerator-vs-GPU comparison: the quantities Table I reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/gpu_model.hpp"
+#include "core/accelerator_config.hpp"
+
+namespace reramdl::core {
+
+struct Comparison {
+  std::string workload;
+  double accel_time_s = 0.0;
+  double gpu_time_s = 0.0;
+  double accel_energy_j = 0.0;
+  double gpu_energy_j = 0.0;
+
+  double speedup() const { return gpu_time_s / accel_time_s; }
+  double energy_saving() const { return gpu_energy_j / accel_energy_j; }
+};
+
+Comparison compare(std::string workload, const TimingReport& accel,
+                   const baseline::GpuCost& gpu);
+
+struct ComparisonSummary {
+  double geomean_speedup = 0.0;
+  double geomean_energy_saving = 0.0;
+};
+
+ComparisonSummary summarize(const std::vector<Comparison>& rows);
+
+}  // namespace reramdl::core

@@ -1,0 +1,138 @@
+#include "core/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace reramdl::core {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+using Setter = std::function<void(AcceleratorConfig&, double)>;
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> kSetters = {
+      {"banks", [](auto& c, double v) { c.chip.banks = static_cast<std::size_t>(v); }},
+      {"morphable_subarrays_per_bank",
+       [](auto& c, double v) {
+         c.chip.morphable_subarrays_per_bank = static_cast<std::size_t>(v);
+       }},
+      {"memory_subarrays_per_bank",
+       [](auto& c, double v) {
+         c.chip.memory_subarrays_per_bank = static_cast<std::size_t>(v);
+       }},
+      {"buffer_subarrays_per_bank",
+       [](auto& c, double v) {
+         c.chip.buffer_subarrays_per_bank = static_cast<std::size_t>(v);
+       }},
+      {"arrays_per_subarray",
+       [](auto& c, double v) {
+         c.chip.arrays_per_subarray = static_cast<std::size_t>(v);
+       }},
+      {"array_rows",
+       [](auto& c, double v) { c.chip.array_rows = static_cast<std::size_t>(v); }},
+      {"array_cols",
+       [](auto& c, double v) { c.chip.array_cols = static_cast<std::size_t>(v); }},
+      {"array_compute_energy_pj",
+       [](auto& c, double v) { c.chip.costs.array_compute_energy_pj = v; }},
+      {"array_compute_latency_ns",
+       [](auto& c, double v) { c.chip.costs.array_compute_latency_ns = v; }},
+      {"internal_bandwidth_bytes_per_ns",
+       [](auto& c, double v) { c.chip.costs.internal_bandwidth_bytes_per_ns = v; }},
+      {"array_static_power_w",
+       [](auto& c, double v) { c.chip.costs.array_static_power_w = v; }},
+      {"bits_per_cell",
+       [](auto& c, double v) {
+         c.chip.cell.bits_per_cell = static_cast<std::size_t>(v);
+       }},
+      {"weight_bits",
+       [](auto& c, double v) { c.weight_bits = static_cast<std::size_t>(v); }},
+      {"input_bits",
+       [](auto& c, double v) { c.input_bits = static_cast<std::size_t>(v); }},
+      {"max_arrays",
+       [](auto& c, double v) { c.max_arrays = static_cast<std::size_t>(v); }},
+  };
+  return kSetters;
+}
+
+}  // namespace
+
+AcceleratorConfig parse_config(const std::string& text, AcceleratorConfig base) {
+  AcceleratorConfig config = std::move(base);
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      detail::check_fail("config line has no '='", __FILE__,
+                         static_cast<int>(line_no), line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value_str = trim(line.substr(eq + 1));
+    const auto it = setters().find(key);
+    if (it == setters().end())
+      detail::check_fail("unknown config key", __FILE__,
+                         static_cast<int>(line_no), key);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(value_str, &consumed);
+    } catch (const std::exception&) {
+      detail::check_fail("config value is not numeric", __FILE__,
+                         static_cast<int>(line_no), value_str);
+    }
+    RERAMDL_CHECK_EQ(consumed, value_str.size());
+    it->second(config, value);
+  }
+  return config;
+}
+
+AcceleratorConfig load_config(const std::string& path, AcceleratorConfig base) {
+  std::ifstream is(path);
+  RERAMDL_CHECK(static_cast<bool>(is));
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_config(buffer.str(), std::move(base));
+}
+
+std::string dump_config(const AcceleratorConfig& c) {
+  std::ostringstream os;
+  os << "banks = " << c.chip.banks << '\n'
+     << "morphable_subarrays_per_bank = " << c.chip.morphable_subarrays_per_bank
+     << '\n'
+     << "memory_subarrays_per_bank = " << c.chip.memory_subarrays_per_bank
+     << '\n'
+     << "buffer_subarrays_per_bank = " << c.chip.buffer_subarrays_per_bank
+     << '\n'
+     << "arrays_per_subarray = " << c.chip.arrays_per_subarray << '\n'
+     << "array_rows = " << c.chip.array_rows << '\n'
+     << "array_cols = " << c.chip.array_cols << '\n'
+     << "array_compute_energy_pj = " << c.chip.costs.array_compute_energy_pj
+     << '\n'
+     << "array_compute_latency_ns = " << c.chip.costs.array_compute_latency_ns
+     << '\n'
+     << "internal_bandwidth_bytes_per_ns = "
+     << c.chip.costs.internal_bandwidth_bytes_per_ns << '\n'
+     << "array_static_power_w = " << c.chip.costs.array_static_power_w << '\n'
+     << "bits_per_cell = " << c.chip.cell.bits_per_cell << '\n'
+     << "weight_bits = " << c.weight_bits << '\n'
+     << "input_bits = " << c.input_bits << '\n'
+     << "max_arrays = " << c.max_arrays << '\n';
+  return os.str();
+}
+
+}  // namespace reramdl::core

@@ -1,0 +1,35 @@
+// Text configuration loading: lets the examples and benches run against a
+// user-edited accelerator description instead of the built-in design points.
+//
+// Format: one `key = value` pair per line; '#' starts a comment. Unknown
+// keys raise CheckError so typos don't silently fall back to defaults.
+//
+//   # pipelayer-like part
+//   banks = 64
+//   morphable_subarrays_per_bank = 32
+//   array_rows = 128
+//   array_compute_energy_pj = 120000
+//   weight_bits = 16
+//   max_arrays = 8192
+#pragma once
+
+#include <string>
+
+#include "core/accelerator_config.hpp"
+
+namespace reramdl::core {
+
+// Parse a configuration from text; starts from the given base (defaults to
+// the PipeLayer design point) and overrides the keys present.
+AcceleratorConfig parse_config(const std::string& text,
+                               AcceleratorConfig base = {});
+
+// Load from a file; throws CheckError if the file cannot be read.
+AcceleratorConfig load_config(const std::string& path,
+                              AcceleratorConfig base = {});
+
+// Serialize a configuration to the same text format (round-trips through
+// parse_config).
+std::string dump_config(const AcceleratorConfig& config);
+
+}  // namespace reramdl::core

@@ -1,0 +1,123 @@
+#include "core/functional.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/transposed_conv2d.hpp"
+
+namespace reramdl::core {
+
+// One weighted layer's attachment: the grid it computes on and the layer
+// pointer needed for (re)programming and detaching.
+struct CrossbarExecutor::Binding {
+  nn::Layer* layer = nullptr;
+  circuit::CrossbarGrid* grid = nullptr;
+  const Tensor* weights = nullptr;
+
+  void install() {
+    circuit::CrossbarGrid* g = grid;
+    auto hook = [g](const Tensor& rows, const Tensor& weights) -> Tensor {
+      RERAMDL_CHECK_EQ(rows.shape().rank(), 2u);
+      const std::size_t m = rows.shape()[0], k = rows.shape()[1];
+      RERAMDL_CHECK_EQ(k, g->total_rows());
+      RERAMDL_CHECK_EQ(weights.shape()[1], g->total_cols());
+      // Per-call dynamic input range, as the spike drivers rescale per layer.
+      double x_max = 1e-12;
+      for (std::size_t i = 0; i < rows.numel(); ++i)
+        x_max = std::max(x_max, static_cast<double>(std::abs(rows[i])));
+      Tensor out(Shape{m, g->total_cols()});
+      std::vector<float> x(k);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < k; ++j) x[j] = rows.at(i, j);
+        const std::vector<float> y = g->compute(x, x_max);
+        for (std::size_t j = 0; j < y.size(); ++j) out.at(i, j) = y[j];
+      }
+      return out;
+    };
+    if (auto* d = dynamic_cast<nn::Dense*>(layer)) d->set_forward_matmul(hook);
+    else if (auto* c = dynamic_cast<nn::Conv2D*>(layer)) c->set_forward_matmul(hook);
+    else if (auto* t = dynamic_cast<nn::TransposedConv2D*>(layer))
+      t->set_forward_matmul(hook);
+  }
+
+  void uninstall() {
+    if (auto* d = dynamic_cast<nn::Dense*>(layer)) d->set_forward_matmul(nullptr);
+    else if (auto* c = dynamic_cast<nn::Conv2D*>(layer)) c->set_forward_matmul(nullptr);
+    else if (auto* t = dynamic_cast<nn::TransposedConv2D*>(layer))
+      t->set_forward_matmul(nullptr);
+  }
+};
+
+namespace {
+
+const Tensor* weighted_layer_matrix(nn::Layer& layer) {
+  if (auto* d = dynamic_cast<nn::Dense*>(&layer)) return &d->weights();
+  if (auto* c = dynamic_cast<nn::Conv2D*>(&layer)) return &c->weights();
+  if (auto* t = dynamic_cast<nn::TransposedConv2D*>(&layer)) return &t->weights();
+  return nullptr;
+}
+
+}  // namespace
+
+CrossbarExecutor::CrossbarExecutor(nn::Sequential& net,
+                                   const AcceleratorConfig& config,
+                                   device::VariationModel* variation)
+    : net_(&net), xbar_config_(config.crossbar_config()) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    const Tensor* w = weighted_layer_matrix(layer);
+    if (w == nullptr) continue;
+    auto grid = std::make_unique<circuit::CrossbarGrid>(xbar_config_);
+    auto binding = std::make_unique<Binding>();
+    binding->layer = &layer;
+    binding->grid = grid.get();
+    binding->weights = w;
+    grids_.push_back(std::move(grid));
+    bindings_.push_back(std::move(binding));
+  }
+  RERAMDL_CHECK(!bindings_.empty());
+  reprogram(variation);
+  for (auto& b : bindings_) b->install();
+  attached_ = true;
+}
+
+void CrossbarExecutor::reprogram(device::VariationModel* variation) {
+  for (auto& b : bindings_) {
+    const double w_max =
+        std::max(static_cast<double>(b->weights->abs_max()), 1e-12);
+    b->grid->program(*b->weights, w_max, variation);
+  }
+}
+
+void CrossbarExecutor::apply_drift(double factor) {
+  for (auto& g : grids_) g->apply_drift(factor);
+}
+
+void CrossbarExecutor::detach() {
+  if (!attached_) return;
+  for (auto& b : bindings_) b->uninstall();
+  attached_ = false;
+}
+
+const circuit::CrossbarGrid& CrossbarExecutor::grid(std::size_t i) const {
+  RERAMDL_CHECK_LT(i, grids_.size());
+  return *grids_[i];
+}
+
+circuit::CrossbarStats CrossbarExecutor::aggregate_stats() const {
+  circuit::CrossbarStats total;
+  for (const auto& g : grids_) {
+    const auto s = g->aggregate_stats();
+    total.programmed_cells += s.programmed_cells;
+    total.compute_ops += s.compute_ops;
+    total.input_spikes += s.input_spikes;
+    total.saturated_counters += s.saturated_counters;
+  }
+  return total;
+}
+
+CrossbarExecutor::~CrossbarExecutor() { detach(); }
+
+}  // namespace reramdl::core

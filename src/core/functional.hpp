@@ -1,0 +1,56 @@
+// Functional crossbar execution: route a live nn::Sequential's matrix
+// products through quantized ReRAM crossbar grids, so inference (and the
+// forward passes of training) computes with the precision, bit-slicing and
+// device non-idealities of the hardware instead of float matmuls.
+//
+// Biases, activations, pooling and batch-norm stay digital, matching the
+// paper's peripheral-circuit split.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/crossbar_grid.hpp"
+#include "core/accelerator_config.hpp"
+#include "device/variation.hpp"
+#include "nn/sequential.hpp"
+
+namespace reramdl::core {
+
+class CrossbarExecutor {
+ public:
+  // Programs one crossbar grid per weighted layer of `net` and installs
+  // forward-matmul hooks. `net` must outlive the executor. The optional
+  // variation model perturbs every programmed cell.
+  CrossbarExecutor(nn::Sequential& net, const AcceleratorConfig& config,
+                   device::VariationModel* variation = nullptr);
+
+  // Re-program the grids from the layers' current weights (after a weight
+  // update, mirroring the paper's update cycle).
+  void reprogram(device::VariationModel* variation = nullptr);
+
+  // Age all grids by the given retention-drift factor (see
+  // device::RetentionModel); reprogram() restores fresh levels.
+  void apply_drift(double factor);
+
+  // Remove the hooks, restoring exact float execution.
+  void detach();
+
+  std::size_t num_grids() const { return grids_.size(); }
+  const circuit::CrossbarGrid& grid(std::size_t i) const;
+  circuit::CrossbarStats aggregate_stats() const;
+
+  ~CrossbarExecutor();
+  CrossbarExecutor(const CrossbarExecutor&) = delete;
+  CrossbarExecutor& operator=(const CrossbarExecutor&) = delete;
+
+ private:
+  struct Binding;
+  nn::Sequential* net_;
+  circuit::CrossbarConfig xbar_config_;
+  std::vector<std::unique_ptr<circuit::CrossbarGrid>> grids_;
+  std::vector<std::unique_ptr<Binding>> bindings_;
+  bool attached_ = false;
+};
+
+}  // namespace reramdl::core

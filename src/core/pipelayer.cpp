@@ -1,0 +1,209 @@
+#include "core/pipelayer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "pipeline/analytic.hpp"
+
+namespace reramdl::core {
+
+PipeLayerAccelerator::PipeLayerAccelerator(nn::NetworkSpec net,
+                                           AcceleratorConfig config)
+    : net_(std::move(net)), config_(std::move(config)) {
+  RERAMDL_CHECK_GT(net_.weighted_layers(), 0u);
+  mapping_ = mapping::plan_under_budget(net_, config_.mapping_config(),
+                                        config_.array_budget());
+}
+
+std::size_t PipeLayerAccelerator::pipeline_depth() const {
+  return net_.weighted_layers();
+}
+
+double PipeLayerAccelerator::forward_activations_per_sample() const {
+  double acts = 0.0;
+  for (const auto& l : mapping_.layers)
+    acts += static_cast<double>(l.row_tiles * l.col_tiles) *
+            static_cast<double>(l.spec.vectors_per_sample());
+  return acts;
+}
+
+double PipeLayerAccelerator::forward_buffer_bytes_per_sample() const {
+  // Every layer's activations are staged through a memory subarray once
+  // written and once read (paper: "memory subarrays are used as buffers to
+  // store intermediate results").
+  double bytes = 0.0;
+  for (const auto& l : net_.layers)
+    bytes += 2.0 * 4.0 * static_cast<double>(l.out_size());
+  return bytes;
+}
+
+double PipeLayerAccelerator::programmed_cells() const {
+  const std::size_t slices =
+      config_.weight_bits / config_.chip.cell.bits_per_cell;
+  return static_cast<double>(mapping_.total_weight_cells()) *
+         static_cast<double>(slices) * 2.0;  // differential pair
+}
+
+double PipeLayerAccelerator::compute_energy_pj(double activations) const {
+  return activations * config_.chip.costs.array_compute_energy_pj;
+}
+
+void PipeLayerAccelerator::fill_common(TimingReport& r) const {
+  r.stage_steps = mapping_.stage_steps();
+  // A pipeline cycle must both finish the slowest stage's array activations
+  // and drain that stage's activations into the memory subarrays (the next
+  // stage's read overlaps via double buffering), so the cycle time is the
+  // max of the compute term and the data-movement term.
+  double max_layer_bytes = 0.0;
+  for (const auto& l : net_.layers)
+    max_layer_bytes =
+        std::max(max_layer_bytes, 4.0 * static_cast<double>(l.out_size()));
+  const double compute_ns = static_cast<double>(r.stage_steps) *
+                            config_.chip.costs.array_compute_latency_ns;
+  const double transfer_ns =
+      max_layer_bytes / config_.chip.costs.internal_bandwidth_bytes_per_ns;
+  r.cycle_ns = std::max(compute_ns, transfer_ns);
+  r.arrays_used = mapping_.total_arrays();
+  const auto& c = config_.chip.costs;
+  r.area_mm2 = static_cast<double>(r.arrays_used) * c.array_area_mm2 +
+               static_cast<double>(config_.chip.banks) * c.bank_control_area_mm2;
+}
+
+void PipeLayerAccelerator::book_training_energy(std::size_t n,
+                                                std::size_t batch,
+                                                double time_s,
+                                                arch::EnergyMeter& meter) const {
+  const double dn = static_cast<double>(n);
+  const auto& costs = config_.chip.costs;
+  // Forward + error-backward + weight-gradient passes each re-run the
+  // layer contractions on (transposed / replicated) arrays: 3x forward work.
+  meter.add("compute", 3.0 * dn * compute_energy_pj(forward_activations_per_sample()));
+  // Activations and errors staged through memory subarrays (2 passes keep
+  // forward activations for the weight-gradient computation).
+  meter.add("memory", 2.0 * dn * forward_buffer_bytes_per_sample() *
+                          costs.memory_access_energy_pj_per_byte);
+  // Activation function + pooling peripheral work per produced element.
+  double act_elems = 0.0;
+  for (const auto& l : net_.layers)
+    if (l.kind == nn::LayerKind::kActivation || l.kind == nn::LayerKind::kPool)
+      act_elems += static_cast<double>(l.out_size());
+  meter.add("activation", dn * act_elems * costs.activation_energy_pj);
+  // One weight update per batch reprograms every physical cell.
+  const double batches = dn / static_cast<double>(batch);
+  const double per_cell =
+      config_.chip.cell.program_energy_pj() + costs.update_driver_energy_pj;
+  meter.add("update", batches * programmed_cells() * per_cell);
+  // Peripheral static power over the run for every allocated array.
+  meter.add("static", static_cast<double>(mapping_.total_arrays()) *
+                          costs.array_static_power_w * time_s * units::kPjPerJ);
+}
+
+TimingReport PipeLayerAccelerator::inference_report(std::size_t n) const {
+  RERAMDL_CHECK_GT(n, 0u);
+  TimingReport r;
+  fill_common(r);
+  r.pipeline_cycles =
+      pipeline::pipelayer_infer_cycles_pipelined(n, pipeline_depth());
+  r.time_s = static_cast<double>(r.pipeline_cycles) * r.cycle_ns / units::kNsPerS;
+  const double dn = static_cast<double>(n);
+  arch::EnergyMeter meter;
+  meter.add("compute", dn * compute_energy_pj(forward_activations_per_sample()));
+  meter.add("memory", dn * forward_buffer_bytes_per_sample() *
+                          config_.chip.costs.memory_access_energy_pj_per_byte);
+  meter.add("static", static_cast<double>(mapping_.total_arrays()) *
+                          config_.chip.costs.array_static_power_w * r.time_s *
+                          units::kPjPerJ);
+  r.energy_j = meter.total_pj() / units::kPjPerJ;
+  r.power_w = r.energy_j / r.time_s;
+  r.throughput_sps = dn / r.time_s;
+  return r;
+}
+
+TimingReport PipeLayerAccelerator::training_report(std::size_t n,
+                                                   std::size_t batch) const {
+  RERAMDL_CHECK_GT(n, 0u);
+  RERAMDL_CHECK_GT(batch, 0u);
+  RERAMDL_CHECK_EQ(n % batch, 0u);
+  TimingReport r;
+  fill_common(r);
+  r.pipeline_cycles =
+      pipeline::pipelayer_train_cycles_pipelined(n, pipeline_depth(), batch);
+  r.time_s = static_cast<double>(r.pipeline_cycles) * r.cycle_ns / units::kNsPerS;
+  arch::EnergyMeter meter;
+  book_training_energy(n, batch, r.time_s, meter);
+  r.energy_j = meter.total_pj() / units::kPjPerJ;
+  r.power_w = r.energy_j / r.time_s;
+  r.throughput_sps = static_cast<double>(n) / r.time_s;
+  return r;
+}
+
+TimingReport PipeLayerAccelerator::inference_report_sequential(
+    std::size_t n) const {
+  RERAMDL_CHECK_GT(n, 0u);
+  TimingReport r = inference_report(n);
+  r.pipeline_cycles =
+      pipeline::pipelayer_infer_cycles_sequential(n, pipeline_depth());
+  r.time_s = static_cast<double>(r.pipeline_cycles) * r.cycle_ns / units::kNsPerS;
+  // Energy is work-proportional and unchanged; recompute rates and the
+  // static share for the longer run.
+  arch::EnergyMeter meter;
+  const double dn = static_cast<double>(n);
+  meter.add("compute", dn * compute_energy_pj(forward_activations_per_sample()));
+  meter.add("memory", dn * forward_buffer_bytes_per_sample() *
+                          config_.chip.costs.memory_access_energy_pj_per_byte);
+  meter.add("static", static_cast<double>(mapping_.total_arrays()) *
+                          config_.chip.costs.array_static_power_w * r.time_s *
+                          units::kPjPerJ);
+  r.energy_j = meter.total_pj() / units::kPjPerJ;
+  r.power_w = r.energy_j / r.time_s;
+  r.throughput_sps = dn / r.time_s;
+  return r;
+}
+
+TimingReport PipeLayerAccelerator::training_report_sequential(
+    std::size_t n, std::size_t batch) const {
+  RERAMDL_CHECK_GT(n, 0u);
+  RERAMDL_CHECK_EQ(n % batch, 0u);
+  TimingReport r;
+  fill_common(r);
+  r.pipeline_cycles =
+      pipeline::pipelayer_train_cycles_sequential(n, pipeline_depth(), batch);
+  r.time_s = static_cast<double>(r.pipeline_cycles) * r.cycle_ns / units::kNsPerS;
+  arch::EnergyMeter meter;
+  book_training_energy(n, batch, r.time_s, meter);
+  r.energy_j = meter.total_pj() / units::kPjPerJ;
+  r.power_w = r.energy_j / r.time_s;
+  r.throughput_sps = static_cast<double>(n) / r.time_s;
+  return r;
+}
+
+std::vector<PipeLayerAccelerator::LayerCost>
+PipeLayerAccelerator::layer_costs() const {
+  std::vector<LayerCost> rows;
+  rows.reserve(mapping_.layers.size());
+  for (const auto& l : mapping_.layers) {
+    LayerCost row;
+    row.name = l.spec.name;
+    row.arrays = l.arrays();
+    row.steps_per_sample = l.steps_per_sample();
+    row.activations_per_sample =
+        static_cast<double>(l.row_tiles * l.col_tiles) *
+        static_cast<double>(l.spec.vectors_per_sample());
+    row.compute_uj_per_sample = row.activations_per_sample *
+                                config_.chip.costs.array_compute_energy_pj /
+                                units::kPjPerUj;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+arch::EnergyMeter PipeLayerAccelerator::training_energy_breakdown(
+    std::size_t n, std::size_t batch) const {
+  const TimingReport r = training_report(n, batch);
+  arch::EnergyMeter meter;
+  book_training_energy(n, batch, r.time_s, meter);
+  return meter;
+}
+
+}  // namespace reramdl::core

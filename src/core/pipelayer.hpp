@@ -1,0 +1,65 @@
+// PipeLayer: the ReRAM PIM accelerator for general neural networks
+// (paper Sec. III-A). Combines the balanced data mapping (Fig. 4b), the
+// inter-layer training pipeline (Fig. 5b), and the morphable-subarray bank
+// implementation (Fig. 6) into per-run time / energy / area reports.
+#pragma once
+
+#include "arch/energy.hpp"
+#include "core/accelerator_config.hpp"
+#include "mapping/planner.hpp"
+#include "nn/layer_spec.hpp"
+
+namespace reramdl::core {
+
+class PipeLayerAccelerator {
+ public:
+  PipeLayerAccelerator(nn::NetworkSpec net, AcceleratorConfig config);
+
+  const mapping::NetworkMapping& network_mapping() const { return mapping_; }
+  const nn::NetworkSpec& network() const { return net_; }
+  std::size_t pipeline_depth() const;  // the paper's L (weighted layers)
+
+  TimingReport inference_report(std::size_t n) const;
+  TimingReport training_report(std::size_t n, std::size_t batch) const;
+
+  // Reports with the inter-layer pipeline disabled (each input's forward /
+  // backward runs to completion before the next enters) — the "no pipeline"
+  // baseline the paper's Fig. 5 discussion argues against. Same hardware,
+  // same energy model; only the cycle count changes.
+  TimingReport inference_report_sequential(std::size_t n) const;
+  TimingReport training_report_sequential(std::size_t n,
+                                          std::size_t batch) const;
+
+  // Per-component energy of one training run (for breakdown tables).
+  arch::EnergyMeter training_energy_breakdown(std::size_t n,
+                                              std::size_t batch) const;
+
+  // Per-layer cost rows: how each weighted layer contributes to arrays,
+  // stage latency, and per-sample compute energy.
+  struct LayerCost {
+    std::string name;
+    std::size_t arrays = 0;
+    std::size_t steps_per_sample = 0;
+    double activations_per_sample = 0.0;
+    double compute_uj_per_sample = 0.0;
+  };
+  std::vector<LayerCost> layer_costs() const;
+
+ private:
+  // Array activations for one sample's forward pass (tiles x vectors,
+  // independent of replication).
+  double forward_activations_per_sample() const;
+  double forward_buffer_bytes_per_sample() const;
+  // Physical cells (both polarities, all slices, all replicas).
+  double programmed_cells() const;
+  void fill_common(TimingReport& r) const;
+  double compute_energy_pj(double activations) const;
+  void book_training_energy(std::size_t n, std::size_t batch, double time_s,
+                            arch::EnergyMeter& meter) const;
+
+  nn::NetworkSpec net_;
+  AcceleratorConfig config_;
+  mapping::NetworkMapping mapping_;
+};
+
+}  // namespace reramdl::core

@@ -1,0 +1,74 @@
+#include "core/related_work.hpp"
+
+#include "circuit/adc.hpp"
+#include "common/check.hpp"
+
+namespace reramdl::core {
+
+SystemCost gpu_only_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                         const baseline::GpuModel& gpu) {
+  RERAMDL_CHECK_GT(scenario.n_train, 0u);
+  RERAMDL_CHECK_GT(scenario.n_infer, 0u);
+  SystemCost c;
+  const auto train = gpu.training_cost(net, scenario.n_train, scenario.batch);
+  const auto infer = gpu.inference_cost(net, scenario.n_infer, scenario.batch);
+  c.train_time_s = train.time_s;
+  c.train_energy_j = train.energy_j;
+  c.infer_time_s = infer.time_s;
+  c.infer_energy_j = infer.energy_j;
+  return c;
+}
+
+SystemCost isaac_like_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                           const AcceleratorConfig& config,
+                           const baseline::GpuModel& gpu) {
+  SystemCost c;
+  const auto train = gpu.training_cost(net, scenario.n_train, scenario.batch);
+  c.train_time_s = train.time_s;
+  c.train_energy_j = train.energy_j;
+
+  // Inference on the ReRAM part, with the DAC/ADC readout premium applied on
+  // top of the spike-scheme costs the base accelerator model assumes.
+  const PipeLayerAccelerator accel(net, config);
+  TimingReport infer = accel.inference_report(scenario.n_infer);
+
+  const auto spike = circuit::spike_scheme_costs(
+      config.chip.array_rows, config.chip.array_cols, config.input_bits,
+      config.chip.cell);
+  const auto adc = circuit::adc_scheme_costs(
+      config.chip.array_rows, config.chip.array_cols, config.input_bits,
+      circuit::AdcParams{}, circuit::DacParams{});
+
+  // Energy: every array activation pays the conversion difference.
+  double activations = 0.0;
+  for (const auto& l : accel.network_mapping().layers)
+    activations += static_cast<double>(l.row_tiles * l.col_tiles) *
+                   static_cast<double>(l.spec.vectors_per_sample());
+  const double extra_pj = (adc.energy_pj - spike.energy_pj) * activations *
+                          static_cast<double>(scenario.n_infer);
+  c.infer_energy_j = infer.energy_j + extra_pj * 1e-12;
+
+  // Latency: the conversion path stretches each array step.
+  const double step_scale =
+      (infer.cycle_ns / static_cast<double>(infer.stage_steps) +
+       (adc.latency_ns - spike.latency_ns)) /
+      (infer.cycle_ns / static_cast<double>(infer.stage_steps));
+  c.infer_time_s = infer.time_s * std::max(step_scale, 1.0);
+  return c;
+}
+
+SystemCost pipelayer_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                          const AcceleratorConfig& config) {
+  SystemCost c;
+  const PipeLayerAccelerator accel(net, config);
+  const TimingReport train =
+      accel.training_report(scenario.n_train, scenario.batch);
+  const TimingReport infer = accel.inference_report(scenario.n_infer);
+  c.train_time_s = train.time_s;
+  c.train_energy_j = train.energy_j;
+  c.infer_time_s = infer.time_s;
+  c.infer_energy_j = infer.energy_j;
+  return c;
+}
+
+}  // namespace reramdl::core

@@ -1,0 +1,49 @@
+// Related-work system comparison.
+//
+// The paper positions PipeLayer against PRIME / ISAAC: those architectures
+// accelerate *inference* with voltage-mode DAC/ADC crossbars but lack
+// "support for sophisticated training", so a deployment must train on a GPU
+// and ship weights to the ReRAM chip. These models quantify that argument
+// for a train-then-serve scenario:
+//   * GPU only         — train and infer on the GTX 1080 baseline;
+//   * ISAAC-like hybrid — train on the GPU, infer on an inference-only
+//     ReRAM part whose readout uses the DAC + SAR-ADC scheme;
+//   * PipeLayer        — train and infer on the spike-coded PIM accelerator.
+#pragma once
+
+#include "baseline/gpu_model.hpp"
+#include "core/pipelayer.hpp"
+
+namespace reramdl::core {
+
+struct SystemCost {
+  double train_time_s = 0.0;
+  double train_energy_j = 0.0;
+  double infer_time_s = 0.0;
+  double infer_energy_j = 0.0;
+
+  double total_time_s() const { return train_time_s + infer_time_s; }
+  double total_energy_j() const { return train_energy_j + infer_energy_j; }
+};
+
+struct Scenario {
+  std::size_t n_train = 0;
+  std::size_t n_infer = 0;
+  std::size_t batch = 64;
+};
+
+SystemCost gpu_only_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                         const baseline::GpuModel& gpu);
+
+// GPU training + inference on an ISAAC-like inference-only ReRAM part. The
+// part shares PipeLayer's array organization but pays the voltage-mode
+// conversion premium per array activation (circuit::adc_scheme_costs vs
+// circuit::spike_scheme_costs).
+SystemCost isaac_like_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                           const AcceleratorConfig& config,
+                           const baseline::GpuModel& gpu);
+
+SystemCost pipelayer_cost(const nn::NetworkSpec& net, const Scenario& scenario,
+                          const AcceleratorConfig& config);
+
+}  // namespace reramdl::core

@@ -1,0 +1,56 @@
+#include "device/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::device {
+
+LinearQuantizer::LinearQuantizer(std::size_t bits, double max_abs)
+    : bits_(bits),
+      max_level_((std::int64_t{1} << bits) - 1),
+      max_abs_(max_abs) {
+  RERAMDL_CHECK_GE(bits, 1u);
+  RERAMDL_CHECK_LE(bits, 31u);
+  RERAMDL_CHECK_GT(max_abs, 0.0);
+}
+
+double LinearQuantizer::step() const {
+  return max_abs_ / static_cast<double>(max_level_);
+}
+
+std::int64_t LinearQuantizer::quantize(double value) const {
+  const double scaled = value / step();
+  const double clamped = std::clamp(scaled, -static_cast<double>(max_level_),
+                                    static_cast<double>(max_level_));
+  return static_cast<std::int64_t>(std::llround(clamped));
+}
+
+double LinearQuantizer::dequantize(std::int64_t level) const {
+  return static_cast<double>(level) * step();
+}
+
+std::vector<std::uint32_t> bit_slice(std::uint64_t magnitude,
+                                     std::size_t bits_per_slice,
+                                     std::size_t num_slices) {
+  RERAMDL_CHECK_GE(bits_per_slice, 1u);
+  RERAMDL_CHECK_LE(bits_per_slice * num_slices, 64u);
+  const std::uint64_t mask = (std::uint64_t{1} << bits_per_slice) - 1;
+  std::vector<std::uint32_t> slices(num_slices);
+  for (std::size_t s = 0; s < num_slices; ++s)
+    slices[s] = static_cast<std::uint32_t>((magnitude >> (s * bits_per_slice)) & mask);
+  // The magnitude must fit in the available slices.
+  RERAMDL_CHECK_EQ(magnitude >> (bits_per_slice * num_slices), 0u);
+  return slices;
+}
+
+std::uint64_t bit_unslice(const std::vector<std::uint32_t>& slices,
+                          std::size_t bits_per_slice) {
+  std::uint64_t m = 0;
+  for (std::size_t s = slices.size(); s > 0; --s)
+    m = (m << bits_per_slice) | slices[s - 1];
+  return m;
+}
+
+}  // namespace reramdl::device

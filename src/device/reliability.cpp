@@ -1,0 +1,29 @@
+#include "device/reliability.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::device {
+
+EnduranceModel::EnduranceModel(EnduranceParams params) : params_(params) {
+  RERAMDL_CHECK_GT(params.max_writes, 0.0);
+}
+
+double EnduranceModel::lifetime_seconds(double writes_per_second) const {
+  RERAMDL_CHECK_GT(writes_per_second, 0.0);
+  return params_.max_writes / writes_per_second;
+}
+
+RetentionModel::RetentionModel(RetentionParams params) : params_(params) {
+  RERAMDL_CHECK_GE(params.drift_nu, 0.0);
+  RERAMDL_CHECK_GT(params.t0_seconds, 0.0);
+}
+
+double RetentionModel::drift_factor(double t_seconds) const {
+  RERAMDL_CHECK_GE(t_seconds, 0.0);
+  if (t_seconds <= params_.t0_seconds) return 1.0;
+  return std::pow(t_seconds / params_.t0_seconds, -params_.drift_nu);
+}
+
+}  // namespace reramdl::device

@@ -1,0 +1,60 @@
+// Reliability models: write endurance and retention drift.
+//
+// Training on ReRAM stresses the cells in two ways the paper's design
+// choices respond to: every batch's weight-update cycle reprograms cells
+// (endurance — motivating batch-accumulated updates rather than per-sample
+// ones), and programmed conductances drift toward the high-resistance state
+// over time (retention — bounding how long inference can run between
+// refreshes).
+#pragma once
+
+#include <cstddef>
+
+namespace reramdl::device {
+
+struct EnduranceParams {
+  // Program/erase cycles a cell survives; 1e9 is typical for HfOx ReRAM.
+  double max_writes = 1e9;
+};
+
+class EnduranceModel {
+ public:
+  explicit EnduranceModel(EnduranceParams params);
+
+  // Seconds until the write budget is exhausted at the given per-cell write
+  // rate (writes per second).
+  double lifetime_seconds(double writes_per_second) const;
+
+  // Convenience for the training use case: one update cycle per batch, each
+  // reprogramming every cell once.
+  double training_lifetime_seconds(double batches_per_second) const {
+    return lifetime_seconds(batches_per_second);
+  }
+
+  const EnduranceParams& params() const { return params_; }
+
+ private:
+  EnduranceParams params_;
+};
+
+struct RetentionParams {
+  // Conductance decays multiplicatively as (t / t0)^(-nu) for t > t0.
+  double drift_nu = 0.005;
+  double t0_seconds = 1.0;
+};
+
+class RetentionModel {
+ public:
+  explicit RetentionModel(RetentionParams params);
+
+  // Multiplicative factor applied to a programmed conductance level after
+  // `t_seconds`; 1.0 for t <= t0, monotonically decreasing after.
+  double drift_factor(double t_seconds) const;
+
+  const RetentionParams& params() const { return params_; }
+
+ private:
+  RetentionParams params_;
+};
+
+}  // namespace reramdl::device

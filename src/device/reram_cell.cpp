@@ -1,0 +1,17 @@
+#include "device/reram_cell.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::device {
+
+double CellParams::level_step_us() const {
+  RERAMDL_CHECK_GT(levels(), 1u);
+  return (g_on_us - g_off_us) / static_cast<double>(levels() - 1);
+}
+
+double CellParams::conductance_us(std::size_t level) const {
+  RERAMDL_CHECK_LT(level, levels());
+  return g_off_us + level_step_us() * static_cast<double>(level);
+}
+
+}  // namespace reramdl::device

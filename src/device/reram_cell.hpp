@@ -1,0 +1,47 @@
+// ReRAM (metal-oxide RRAM) cell model.
+//
+// A cell stores a multi-bit value as its conductance between G_off (HRS) and
+// G_on (LRS). Default parameters follow the HfOx-class devices assumed by
+// PipeLayer / ISAAC / PRIME: 4-bit cells, ~us-scale programming with
+// multi-pulse tuning, sub-pJ per-spike read energy.
+#pragma once
+
+#include <cstddef>
+
+namespace reramdl::device {
+
+struct CellParams {
+  // Conductance range in microsiemens.
+  double g_on_us = 300.0;   // low-resistance state
+  double g_off_us = 3.0;    // high-resistance state
+  std::size_t bits_per_cell = 4;
+
+  // Programming (weight update / initial mapping): per-pulse write.
+  double write_pulse_ns = 50.0;
+  double write_energy_pj = 1.0;     // per programming pulse
+  // Number of set/reset pulses needed to tune one cell to a target level.
+  std::size_t tune_pulses = 10;
+
+  // Read: energy drawn by one cell for one input spike.
+  double read_energy_per_spike_pj = 0.0002;
+
+  // Cell area (4F^2 crosspoint at ~50nm feature size), in um^2.
+  double cell_area_um2 = 0.01;
+
+  std::size_t levels() const { return std::size_t{1} << bits_per_cell; }
+  // Conductance step between adjacent levels.
+  double level_step_us() const;
+  // Conductance of a given level (0 = G_off).
+  double conductance_us(std::size_t level) const;
+  // Energy to (re)program one cell.
+  double program_energy_pj() const {
+    return write_energy_pj * static_cast<double>(tune_pulses);
+  }
+  // Latency to (re)program one cell (pulses are sequential per cell, but
+  // whole-row programming is parallel across bitlines).
+  double program_latency_ns() const {
+    return write_pulse_ns * static_cast<double>(tune_pulses);
+  }
+};
+
+}  // namespace reramdl::device

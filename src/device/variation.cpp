@@ -1,0 +1,28 @@
+#include "device/variation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::device {
+
+VariationModel::VariationModel(VariationParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  RERAMDL_CHECK_GE(params.sigma, 0.0);
+  RERAMDL_CHECK_GE(params.stuck_at_off_rate, 0.0);
+  RERAMDL_CHECK_GE(params.stuck_at_on_rate, 0.0);
+  RERAMDL_CHECK_LE(params.stuck_at_off_rate + params.stuck_at_on_rate, 1.0);
+}
+
+double VariationModel::perturb(double ideal_level, double max_level) {
+  // Fault draws happen for every cell so the random stream is independent of
+  // the programmed pattern.
+  const double u = rng_.uniform();
+  if (u < params_.stuck_at_off_rate) return 0.0;
+  if (u < params_.stuck_at_off_rate + params_.stuck_at_on_rate) return max_level;
+  double level = ideal_level;
+  if (params_.sigma > 0.0) level *= rng_.lognormal_unit_mean(params_.sigma);
+  return std::clamp(level, 0.0, max_level);
+}
+
+}  // namespace reramdl::device

@@ -1,0 +1,43 @@
+// Device non-idealities: programming variation and stuck-at faults.
+//
+// Variation is modeled as multiplicative lognormal noise on the programmed
+// conductance (unit mean so the expected MVM is unbiased); stuck-at-0 cells
+// read as G_off, stuck-at-1 cells as G_on regardless of the programmed level.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace reramdl::device {
+
+struct VariationParams {
+  // Sigma of the underlying normal of the lognormal conductance noise.
+  // 0 disables variation. Typical reported values: 0.05 - 0.3.
+  double sigma = 0.0;
+  // Independent probabilities that a cell is stuck at min / max conductance.
+  double stuck_at_off_rate = 0.0;
+  double stuck_at_on_rate = 0.0;
+
+  bool enabled() const {
+    return sigma > 0.0 || stuck_at_off_rate > 0.0 || stuck_at_on_rate > 0.0;
+  }
+};
+
+// Applies non-idealities to an ideal programmed level, returning the
+// *effective* level (a real number in [0, max_level]).
+class VariationModel {
+ public:
+  VariationModel(VariationParams params, Rng rng);
+
+  // ideal_level in [0, max_level] -> effective analog level.
+  double perturb(double ideal_level, double max_level);
+
+  const VariationParams& params() const { return params_; }
+
+ private:
+  VariationParams params_;
+  Rng rng_;
+};
+
+}  // namespace reramdl::device

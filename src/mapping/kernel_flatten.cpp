@@ -1,0 +1,34 @@
+#include "mapping/kernel_flatten.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::mapping {
+
+Tensor flatten_kernel(const Tensor& kernel4d) {
+  RERAMDL_CHECK_EQ(kernel4d.shape().rank(), 4u);
+  const std::size_t out_c = kernel4d.shape()[0], in_c = kernel4d.shape()[1],
+                    kh = kernel4d.shape()[2], kw = kernel4d.shape()[3];
+  Tensor m(Shape{in_c * kh * kw, out_c});
+  for (std::size_t o = 0; o < out_c; ++o)
+    for (std::size_t c = 0; c < in_c; ++c)
+      for (std::size_t y = 0; y < kh; ++y)
+        for (std::size_t x = 0; x < kw; ++x)
+          m.at((c * kh + y) * kw + x, o) = kernel4d.at(o, c, y, x);
+  return m;
+}
+
+Tensor unflatten_kernel(const Tensor& matrix, std::size_t in_c, std::size_t kh,
+                        std::size_t kw) {
+  RERAMDL_CHECK_EQ(matrix.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(matrix.shape()[0], in_c * kh * kw);
+  const std::size_t out_c = matrix.shape()[1];
+  Tensor k(Shape{out_c, in_c, kh, kw});
+  for (std::size_t o = 0; o < out_c; ++o)
+    for (std::size_t c = 0; c < in_c; ++c)
+      for (std::size_t y = 0; y < kh; ++y)
+        for (std::size_t x = 0; x < kw; ++x)
+          k.at(o, c, y, x) = matrix.at((c * kh + y) * kw + x, o);
+  return k;
+}
+
+}  // namespace reramdl::mapping

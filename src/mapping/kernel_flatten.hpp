@@ -1,0 +1,19 @@
+// Kernel flattening (paper Fig. 4): each of layer l+1's kernels (a
+// Kx x Ky x Cl cuboid) is unrolled into one crossbar column, giving a
+// (Kx*Ky*Cl) x C_{l+1} matrix. The row order (c, ky, kx) matches the patch
+// order produced by tensor/im2col, so crossbar columns see exactly the
+// paper's "yellow bar" input vectors.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace reramdl::mapping {
+
+// [out_c, in_c, kh, kw] -> [in_c*kh*kw, out_c].
+Tensor flatten_kernel(const Tensor& kernel4d);
+
+// Inverse, for round-trip checks and weight write-back.
+Tensor unflatten_kernel(const Tensor& matrix, std::size_t in_c, std::size_t kh,
+                        std::size_t kw);
+
+}  // namespace reramdl::mapping

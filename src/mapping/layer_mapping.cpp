@@ -1,0 +1,50 @@
+#include "mapping/layer_mapping.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::mapping {
+
+std::size_t LayerMapping::steps_per_sample() const {
+  const std::size_t vectors = spec.vectors_per_sample();
+  RERAMDL_CHECK_GT(replication, 0u);
+  return (vectors + replication - 1) / replication;
+}
+
+std::size_t LayerMapping::weight_cells() const {
+  return spec.matrix_rows() * spec.matrix_cols() * replication;
+}
+
+LayerMapping map_layer(const nn::LayerSpec& spec, const MappingConfig& config,
+                       std::size_t replication) {
+  RERAMDL_CHECK(spec.is_weighted());
+  RERAMDL_CHECK_GT(replication, 0u);
+  RERAMDL_CHECK_LE(replication, std::max<std::size_t>(spec.vectors_per_sample(), 1));
+  LayerMapping m;
+  m.spec = spec;
+  m.row_tiles = (spec.matrix_rows() + config.array_rows - 1) / config.array_rows;
+  m.col_tiles = (spec.matrix_cols() + config.array_cols - 1) / config.array_cols;
+  m.replication = replication;
+  return m;
+}
+
+std::size_t NetworkMapping::total_arrays() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.arrays();
+  return n;
+}
+
+std::size_t NetworkMapping::stage_steps() const {
+  std::size_t worst = 1;
+  for (const auto& l : layers) worst = std::max(worst, l.steps_per_sample());
+  return worst;
+}
+
+std::size_t NetworkMapping::total_weight_cells() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.weight_cells();
+  return n;
+}
+
+}  // namespace reramdl::mapping

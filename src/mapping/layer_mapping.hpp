@@ -1,0 +1,52 @@
+// Per-layer crossbar allocation (paper Sec. III-A-1).
+//
+// A weighted layer's flattened matrix (rows x cols) is tiled into
+// ceil(rows/A) x ceil(cols/A) arrays of an A x A crossbar; the weights are
+// then duplicated X times ("replication") so X input vectors are processed
+// per cycle. X = 1 reproduces the naive scheme; X = vectors_per_sample
+// produces a layer's whole output in one cycle at maximal array cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer_spec.hpp"
+
+namespace reramdl::mapping {
+
+struct MappingConfig {
+  std::size_t array_rows = 128;
+  std::size_t array_cols = 128;
+};
+
+struct LayerMapping {
+  nn::LayerSpec spec;
+  std::size_t row_tiles = 0;
+  std::size_t col_tiles = 0;
+  std::size_t replication = 1;  // the paper's X
+  // Arrays occupied = row_tiles * col_tiles * replication.
+  std::size_t arrays() const { return row_tiles * col_tiles * replication; }
+  // Array compute steps needed to produce one sample's layer output
+  // (= ceil(vectors_per_sample / X)); the naive example in Fig. 4(a) gives
+  // 12544 for the 114x114x128 -> 112x112x256 conv.
+  std::size_t steps_per_sample() const;
+  // ReRAM cells used (both polarities, all bit slices counted by the caller).
+  std::size_t weight_cells() const;
+};
+
+// Map one weighted layer with a given replication factor.
+LayerMapping map_layer(const nn::LayerSpec& spec, const MappingConfig& config,
+                       std::size_t replication);
+
+struct NetworkMapping {
+  MappingConfig config;
+  std::vector<LayerMapping> layers;  // weighted layers only, in order
+
+  std::size_t total_arrays() const;
+  // The pipeline advances when the slowest stage finishes: cycle-time
+  // multiplier of the inter-layer pipeline.
+  std::size_t stage_steps() const;
+  std::size_t total_weight_cells() const;
+};
+
+}  // namespace reramdl::mapping

@@ -1,0 +1,64 @@
+#include "mapping/planner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::mapping {
+namespace {
+
+std::size_t replication_for_steps(const nn::LayerSpec& spec,
+                                  std::size_t target_steps) {
+  const std::size_t vectors = std::max<std::size_t>(spec.vectors_per_sample(), 1);
+  const std::size_t x = (vectors + target_steps - 1) / target_steps;
+  return std::max<std::size_t>(x, 1);
+}
+
+}  // namespace
+
+NetworkMapping plan_naive(const nn::NetworkSpec& net, const MappingConfig& config) {
+  NetworkMapping m;
+  m.config = config;
+  for (const auto& l : net.layers)
+    if (l.is_weighted()) m.layers.push_back(map_layer(l, config, 1));
+  return m;
+}
+
+NetworkMapping plan_balanced(const nn::NetworkSpec& net,
+                             const MappingConfig& config,
+                             std::size_t target_steps) {
+  RERAMDL_CHECK_GT(target_steps, 0u);
+  NetworkMapping m;
+  m.config = config;
+  for (const auto& l : net.layers)
+    if (l.is_weighted())
+      m.layers.push_back(
+          map_layer(l, config, replication_for_steps(l, target_steps)));
+  return m;
+}
+
+NetworkMapping plan_under_budget(const nn::NetworkSpec& net,
+                                 const MappingConfig& config,
+                                 std::size_t max_arrays) {
+  RERAMDL_CHECK_GT(max_arrays, 0u);
+  // The largest useful target is the naive plan's stage latency; arrays are
+  // non-increasing in target_steps, so binary search the smallest feasible.
+  NetworkMapping naive = plan_naive(net, config);
+  if (naive.total_arrays() > max_arrays) return naive;  // budget infeasible
+
+  std::size_t lo = 1, hi = naive.stage_steps();
+  NetworkMapping best = std::move(naive);
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    NetworkMapping cand = plan_balanced(net, config, mid);
+    if (cand.total_arrays() <= max_arrays) {
+      best = std::move(cand);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace reramdl::mapping

@@ -1,0 +1,31 @@
+// Replication planning: "a good trade-off between hardware resource of ReRAM
+// array and performance requires a carefully chosen X" (paper Sec. III-A-1).
+//
+// plan_naive gives every layer X = 1 (Fig. 4a). plan_balanced picks each
+// layer's X so no stage needs more than target_steps array activations per
+// sample, equalizing pipeline stage latency (Fig. 4b). plan_under_budget
+// searches for the smallest target_steps whose total array count fits a
+// hardware budget — the design-space knob the paper's trade-off discussion
+// is about.
+#pragma once
+
+#include "mapping/layer_mapping.hpp"
+
+namespace reramdl::mapping {
+
+NetworkMapping plan_naive(const nn::NetworkSpec& net, const MappingConfig& config);
+
+// Every weighted layer gets X = ceil(vectors_per_sample / target_steps), so
+// steps_per_sample <= target_steps for all stages.
+NetworkMapping plan_balanced(const nn::NetworkSpec& net,
+                             const MappingConfig& config,
+                             std::size_t target_steps);
+
+// Smallest-latency balanced plan with total_arrays <= max_arrays. Falls back
+// to the naive plan if even X = 1 exceeds the budget (the caller can check
+// total_arrays()).
+NetworkMapping plan_under_budget(const nn::NetworkSpec& net,
+                                 const MappingConfig& config,
+                                 std::size_t max_arrays);
+
+}  // namespace reramdl::mapping

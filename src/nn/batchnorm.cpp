@@ -1,0 +1,181 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+namespace {
+
+// Iterate (sample, channel, spatial) for either [N, C] or [N, C, H, W].
+struct BnDims {
+  std::size_t n, c, spatial;
+};
+
+BnDims bn_dims(const Shape& s, std::size_t channels) {
+  RERAMDL_CHECK(s.rank() == 2 || s.rank() == 4);
+  BnDims d{s[0], s[1], 1};
+  if (s.rank() == 4) d.spatial = s[2] * s[3];
+  RERAMDL_CHECK_EQ(d.c, channels);
+  return d;
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(std::size_t channels, float eps, float momentum)
+    : c_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::full(Shape{channels}, 1.0f)),
+      beta_(Shape{channels}),
+      ggamma_(Shape{channels}),
+      gbeta_(Shape{channels}),
+      running_mean_(channels, 0.0),
+      running_var_(channels, 1.0) {}
+
+std::size_t BatchNorm::per_channel_count(const Tensor& x) const {
+  const BnDims d = bn_dims(x.shape(), c_);
+  return d.n * d.spatial;
+}
+
+void BatchNorm::batch_stats(const Tensor& x, std::vector<double>& mean,
+                            std::vector<double>& var) const {
+  const BnDims d = bn_dims(x.shape(), c_);
+  mean.assign(c_, 0.0);
+  var.assign(c_, 0.0);
+  const float* px = x.data();
+  for (std::size_t s = 0; s < d.n; ++s)
+    for (std::size_t ch = 0; ch < d.c; ++ch)
+      for (std::size_t p = 0; p < d.spatial; ++p)
+        mean[ch] += px[(s * d.c + ch) * d.spatial + p];
+  const double inv = 1.0 / static_cast<double>(d.n * d.spatial);
+  for (auto& m : mean) m *= inv;
+  for (std::size_t s = 0; s < d.n; ++s)
+    for (std::size_t ch = 0; ch < d.c; ++ch)
+      for (std::size_t p = 0; p < d.spatial; ++p) {
+        const double dlt = px[(s * d.c + ch) * d.spatial + p] - mean[ch];
+        var[ch] += dlt * dlt;
+      }
+  for (auto& v : var) v *= inv;
+}
+
+void BatchNorm::set_reference_batch(const Tensor& ref) {
+  batch_stats(ref, ref_mean_, ref_var_);
+  use_reference_ = true;
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  const BnDims d = bn_dims(x.shape(), c_);
+  const std::vector<double>* mean = nullptr;
+  const std::vector<double>* var = nullptr;
+  std::vector<double> bmean, bvar;
+
+  cached_batch_stats_ = false;
+  if (train && !use_reference_) {
+    batch_stats(x, bmean, bvar);
+    for (std::size_t ch = 0; ch < c_; ++ch) {
+      running_mean_[ch] =
+          (1.0 - momentum_) * running_mean_[ch] + momentum_ * bmean[ch];
+      running_var_[ch] =
+          (1.0 - momentum_) * running_var_[ch] + momentum_ * bvar[ch];
+    }
+    mean = &bmean;
+    var = &bvar;
+    cached_batch_stats_ = true;
+  } else if (use_reference_) {
+    RERAMDL_CHECK(!ref_mean_.empty());
+    mean = &ref_mean_;
+    var = &ref_var_;
+  } else {
+    mean = &running_mean_;
+    var = &running_var_;
+  }
+
+  Tensor y(x.shape());
+  Tensor xhat(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  float* ph = xhat.data();
+  for (std::size_t s = 0; s < d.n; ++s) {
+    for (std::size_t ch = 0; ch < d.c; ++ch) {
+      const double inv_std = 1.0 / std::sqrt((*var)[ch] + eps_);
+      const double m = (*mean)[ch];
+      const float g = gamma_[ch], b = beta_[ch];
+      for (std::size_t p = 0; p < d.spatial; ++p) {
+        const std::size_t i = (s * d.c + ch) * d.spatial + p;
+        const float h = static_cast<float>((px[i] - m) * inv_std);
+        ph[i] = h;
+        py[i] = g * h + b;
+      }
+    }
+  }
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_mean_ = *mean;
+    cached_var_ = *var;
+    cached_shape_ = x.shape();
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_EQ(grad_out.shape().numel(), cached_shape_.numel());
+  const BnDims d = bn_dims(cached_shape_, c_);
+  const std::size_t m = d.n * d.spatial;
+
+  // Parameter gradients.
+  const float* pg = grad_out.data();
+  const float* ph = cached_xhat_.data();
+  std::vector<double> sum_g(c_, 0.0), sum_gh(c_, 0.0);
+  for (std::size_t s = 0; s < d.n; ++s)
+    for (std::size_t ch = 0; ch < d.c; ++ch)
+      for (std::size_t p = 0; p < d.spatial; ++p) {
+        const std::size_t i = (s * d.c + ch) * d.spatial + p;
+        sum_g[ch] += pg[i];
+        sum_gh[ch] += static_cast<double>(pg[i]) * ph[i];
+      }
+  for (std::size_t ch = 0; ch < c_; ++ch) {
+    ggamma_[ch] += static_cast<float>(sum_gh[ch]);
+    gbeta_[ch] += static_cast<float>(sum_g[ch]);
+  }
+
+  Tensor gx(cached_shape_);
+  float* px = gx.data();
+  for (std::size_t s = 0; s < d.n; ++s) {
+    for (std::size_t ch = 0; ch < d.c; ++ch) {
+      const double inv_std = 1.0 / std::sqrt(cached_var_[ch] + eps_);
+      const double g = gamma_[ch];
+      for (std::size_t p = 0; p < d.spatial; ++p) {
+        const std::size_t i = (s * d.c + ch) * d.spatial + p;
+        if (cached_batch_stats_) {
+          // Full batch-norm gradient (statistics depend on the batch).
+          px[i] = static_cast<float>(
+              g * inv_std *
+              (pg[i] - sum_g[ch] / static_cast<double>(m) -
+               ph[i] * sum_gh[ch] / static_cast<double>(m)));
+        } else {
+          // VBN / frozen statistics: stats are constants.
+          px[i] = static_cast<float>(g * inv_std * pg[i]);
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<ParamRef> BatchNorm::params() {
+  return {{&gamma_, &ggamma_}, {&beta_, &gbeta_}};
+}
+
+LayerSpec BatchNorm::spec(std::size_t in_c, std::size_t in_h,
+                          std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kBatchNorm;
+  l.name = "bn";
+  l.in_c = l.out_c = in_c;
+  l.in_h = l.out_h = in_h;
+  l.in_w = l.out_w = in_w;
+  return l;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,48 @@
+// Batch normalization, including the *virtual batch normalization* (VBN)
+// variant ReGAN implements in the wordline drivers (Fig. 10-A): each example
+// is normalized with statistics collected once on a fixed reference batch,
+// so the hardware only needs a subtract and a power-of-two shift per element.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class BatchNorm : public Layer {
+ public:
+  // channels: C for NCHW inputs, or the feature count for [N, F] inputs.
+  explicit BatchNorm(std::size_t channels, float eps = 1e-5f,
+                     float momentum = 0.1f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return use_reference_ ? "vbn" : "bn"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+  // Freeze normalization statistics from this reference batch (VBN). After
+  // the call, training forwards normalize with the frozen statistics.
+  void set_reference_batch(const Tensor& ref);
+  bool uses_reference() const { return use_reference_; }
+
+ private:
+  // Computes per-channel mean/var of x into mean/var (size C).
+  void batch_stats(const Tensor& x, std::vector<double>& mean,
+                   std::vector<double>& var) const;
+  std::size_t per_channel_count(const Tensor& x) const;
+
+  std::size_t c_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_, ggamma_, gbeta_;
+  std::vector<double> running_mean_, running_var_;
+  std::vector<double> ref_mean_, ref_var_;
+  bool use_reference_ = false;
+
+  // Backward caches.
+  Tensor cached_xhat_;
+  std::vector<double> cached_mean_, cached_var_;
+  bool cached_batch_stats_ = false;
+  Shape cached_shape_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,98 @@
+#include "nn/conv2d.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace reramdl::nn {
+
+namespace detail {
+
+Tensor rows_to_nchw(const Tensor& rows, std::size_t n, std::size_t out_c,
+                    std::size_t oh, std::size_t ow) {
+  RERAMDL_CHECK_EQ(rows.shape()[0], n * oh * ow);
+  RERAMDL_CHECK_EQ(rows.shape()[1], out_c);
+  Tensor y(Shape{n, out_c, oh, ow});
+  const float* pr = rows.data();
+  float* py = y.data();
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t p = 0; p < oh * ow; ++p)
+      for (std::size_t c = 0; c < out_c; ++c)
+        py[(s * out_c + c) * oh * ow + p] = pr[(s * oh * ow + p) * out_c + c];
+  return y;
+}
+
+Tensor nchw_to_rows(const Tensor& x) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 4u);
+  const std::size_t n = x.shape()[0], c = x.shape()[1], oh = x.shape()[2],
+                    ow = x.shape()[3];
+  Tensor rows(Shape{n * oh * ow, c});
+  const float* px = x.data();
+  float* pr = rows.data();
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t p = 0; p < oh * ow; ++p)
+        pr[(s * oh * ow + p) * c + ch] = px[(s * c + ch) * oh * ow + p];
+  return rows;
+}
+
+}  // namespace detail
+
+Conv2D::Conv2D(std::size_t in_c, std::size_t in_h, std::size_t in_w,
+               std::size_t out_c, std::size_t k, std::size_t stride,
+               std::size_t pad, Rng& rng)
+    : out_c_(out_c),
+      b_(Shape{out_c}),
+      gb_(Shape{out_c}) {
+  geom_ = ConvGeometry{in_c, in_h, in_w, k, k, stride, pad};
+  const std::size_t psz = geom_.patch_size();
+  w_ = Tensor::he_normal(Shape{psz, out_c}, rng, psz);
+  gw_ = Tensor(Shape{psz, out_c});
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool train) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 4u);
+  const std::size_t n = x.shape()[0];
+  Tensor cols = im2col(x, geom_);
+  Tensor rows = matmul_fn_ ? matmul_fn_(cols, w_) : ops::matmul(cols, w_);
+  ops::add_row_bias(rows, b_);
+  if (train) {
+    cached_cols_ = std::move(cols);
+    cached_batch_ = n;
+  }
+  return detail::rows_to_nchw(rows, n, out_c_, geom_.out_h(), geom_.out_w());
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_GT(cached_batch_, 0u);
+  Tensor grows = detail::nchw_to_rows(grad_out);
+  gw_ += ops::matmul_transposed_a(cached_cols_, grows);
+  gb_ += ops::column_sums(grows);
+  Tensor gcols = ops::matmul_transposed_b(grows, w_);
+  return col2im(gcols, geom_, cached_batch_);
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  return {{&w_, &gw_}, {&b_, &gb_}};
+}
+
+LayerSpec Conv2D::spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const {
+  RERAMDL_CHECK_EQ(in_c, geom_.in_c);
+  RERAMDL_CHECK_EQ(in_h, geom_.in_h);
+  RERAMDL_CHECK_EQ(in_w, geom_.in_w);
+  LayerSpec l;
+  l.kind = LayerKind::kConv;
+  l.name = "conv2d";
+  l.in_c = geom_.in_c;
+  l.in_h = geom_.in_h;
+  l.in_w = geom_.in_w;
+  l.kh = geom_.kh;
+  l.kw = geom_.kw;
+  l.stride = geom_.stride;
+  l.pad = geom_.pad;
+  l.out_c = out_c_;
+  l.out_h = geom_.out_h();
+  l.out_w = geom_.out_w();
+  return l;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,96 @@
+#include "nn/dropout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(&rng) {
+  RERAMDL_CHECK_GE(rate, 0.0f);
+  RERAMDL_CHECK_LT(rate, 1.0f);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || rate_ == 0.0f) return x;
+  keep_.assign(x.numel(), true);
+  Tensor y = x;
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (rng_->bernoulli(rate_)) {
+      keep_[i] = false;
+      y[i] = 0.0f;
+    } else {
+      y[i] *= scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_EQ(grad_out.numel(), keep_.size());
+  Tensor gx = grad_out;
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < gx.numel(); ++i)
+    gx[i] = keep_[i] ? gx[i] * scale : 0.0f;
+  return gx;
+}
+
+LayerSpec Dropout::spec(std::size_t in_c, std::size_t in_h,
+                        std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kActivation;
+  l.name = "dropout";
+  l.in_c = l.out_c = in_c;
+  l.in_h = l.out_h = in_h;
+  l.in_w = l.out_w = in_w;
+  return l;
+}
+
+Tensor Softmax::forward(const Tensor& x, bool train) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
+  const std::size_t n = x.shape()[0], k = x.shape()[1];
+  Tensor y = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = y.data() + i * k;
+    const float mx = *std::max_element(row, row + k);
+    double z = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      z += row[j];
+    }
+    for (std::size_t j = 0; j < k; ++j)
+      row[j] = static_cast<float>(row[j] / z);
+  }
+  if (train) cached_out_ = y;
+  return y;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_EQ(grad_out.numel(), cached_out_.numel());
+  const std::size_t n = cached_out_.shape()[0], k = cached_out_.shape()[1];
+  Tensor gx(cached_out_.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* s = cached_out_.data() + i * k;
+    const float* g = grad_out.data() + i * k;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < k; ++j) dot += static_cast<double>(s[j]) * g[j];
+    for (std::size_t j = 0; j < k; ++j)
+      gx.data()[i * k + j] = s[j] * (g[j] - static_cast<float>(dot));
+  }
+  return gx;
+}
+
+LayerSpec Softmax::spec(std::size_t in_c, std::size_t in_h,
+                        std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kActivation;
+  l.name = "softmax";
+  l.in_c = l.out_c = in_c;
+  l.in_h = l.out_h = in_h;
+  l.in_w = l.out_w = in_w;
+  return l;
+}
+
+}  // namespace reramdl::nn

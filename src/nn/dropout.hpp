@@ -1,0 +1,42 @@
+// Dropout (inverted scaling): used by the AlexNet/VGG-class training
+// workloads in the PipeLayer benchmark mix. In hardware this is a masked
+// read of the morphable subarray outputs — free in the cost model, so it
+// only exists on the functional plane.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class Dropout : public Layer {
+ public:
+  Dropout(float rate, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "dropout"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng* rng_;
+  std::vector<bool> keep_;
+};
+
+// Softmax as a layer (for pipelines that want explicit probabilities rather
+// than the fused softmax-cross-entropy loss).
+class Softmax : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "softmax"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+ private:
+  Tensor cached_out_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,57 @@
+#include "nn/flatten.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  RERAMDL_CHECK_GE(x.shape().rank(), 2u);
+  if (train) cached_in_shape_ = x.shape();
+  const std::size_t n = x.shape()[0];
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+LayerSpec Flatten::spec(std::size_t in_c, std::size_t in_h,
+                        std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kFlatten;
+  l.name = "flatten";
+  l.in_c = in_c;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.out_c = in_c * in_h * in_w;
+  l.out_h = l.out_w = 1;
+  return l;
+}
+
+Tensor Reshape::forward(const Tensor& x, bool train) {
+  if (train) cached_in_shape_ = x.shape();
+  const std::size_t n = x.shape()[0];
+  RERAMDL_CHECK_EQ(x.numel(), n * c_ * h_ * w_);
+  return x.reshaped(Shape{n, c_, h_, w_});
+}
+
+Tensor Reshape::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+LayerSpec Reshape::spec(std::size_t in_c, std::size_t in_h,
+                        std::size_t in_w) const {
+  RERAMDL_CHECK_EQ(in_c * in_h * in_w, c_ * h_ * w_);
+  LayerSpec l;
+  l.kind = LayerKind::kFlatten;
+  l.name = "reshape";
+  l.in_c = in_c;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.out_c = c_;
+  l.out_h = h_;
+  l.out_w = w_;
+  return l;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,37 @@
+// Flatten: [N, C, H, W] -> [N, C*H*W]. In hardware this is free — the paper
+// notes the last conv layer's output is read out as a vector ("does not
+// require extra computation").
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "flatten"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+ private:
+  Shape cached_in_shape_;
+};
+
+// Reshape [N, F] -> [N, c, h, w]: the "project and reshape" step at the head
+// of the DCGAN generator, where the first FC layer's output vector becomes a
+// small spatial extent with many feature maps.
+class Reshape : public Layer {
+ public:
+  Reshape(std::size_t c, std::size_t h, std::size_t w) : c_(c), h_(h), w_(w) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "reshape"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+ private:
+  std::size_t c_, h_, w_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,130 @@
+#include "nn/gan.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+namespace {
+
+double logits_accuracy(const Tensor& logits, float target) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const bool says_real = logits[i] > 0.0f;  // sigmoid(x) > 0.5
+    if (says_real == (target > 0.5f)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.numel());
+}
+
+}  // namespace
+
+GanTrainer::GanTrainer(Sequential& generator, Sequential& discriminator,
+                       Optimizer& opt_g, Optimizer& opt_d,
+                       std::size_t latent_dim, bool computation_sharing,
+                       GanObjective objective, float weight_clip)
+    : g_(generator),
+      d_(discriminator),
+      opt_g_(opt_g),
+      opt_d_(opt_d),
+      latent_dim_(latent_dim),
+      cs_(computation_sharing),
+      objective_(objective),
+      weight_clip_(weight_clip) {
+  RERAMDL_CHECK_GT(latent_dim, 0u);
+  RERAMDL_CHECK_GT(weight_clip, 0.0f);
+}
+
+LossResult GanTrainer::phase_loss(const Tensor& logits, bool real_label) const {
+  if (objective_ == GanObjective::kMinimaxBce) {
+    const std::vector<float> targets(logits.numel(),
+                                     real_label ? 1.0f : 0.0f);
+    return bce_with_logits(logits, targets);
+  }
+  // Wasserstein: minimize -mean(critic) for "real" targets, +mean for fake.
+  const float sign = real_label ? -1.0f : 1.0f;
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double mean = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(logits.numel());
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    mean += logits[i];
+    r.grad[i] = sign * inv_n;
+  }
+  r.loss = sign * static_cast<float>(mean / static_cast<double>(logits.numel()));
+  return r;
+}
+
+void GanTrainer::clip_critic_weights() {
+  for (auto& p : d_.params())
+    for (std::size_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] = std::clamp((*p.value)[i], -weight_clip_, weight_clip_);
+}
+
+Tensor GanTrainer::noise(std::size_t batch, Rng& rng) const {
+  return Tensor::uniform(Shape{batch, latent_dim_}, rng, -1.0f, 1.0f);
+}
+
+GanStepStats GanTrainer::step(const Tensor& real_batch, Rng& rng) {
+  const std::size_t b = real_batch.shape()[0];
+  RERAMDL_CHECK_GT(b, 0u);
+  GanStepStats stats;
+
+  opt_d_.zero_grad();
+
+  // Phase 1: D on real samples, accurate label '1'.
+  {
+    Tensor logits = d_.forward(real_batch, /*train=*/true);
+    LossResult r = phase_loss(logits, /*real_label=*/true);
+    stats.d_loss_real = r.loss;
+    stats.d_acc_real = logits_accuracy(logits, 1.0f);
+    d_.backward(r.grad);
+  }
+
+  // Phase 2: D on generated samples, accurate label '0'. G participates but
+  // is not updated.
+  Tensor fake_logits;  // kept for CS
+  {
+    Tensor z = noise(b, rng);
+    Tensor fake = g_.forward(z, /*train=*/true);
+    fake_logits = d_.forward(fake, /*train=*/true);
+    LossResult r = phase_loss(fake_logits, /*real_label=*/false);
+    stats.d_loss_fake = r.loss;
+    stats.d_acc_fake = logits_accuracy(fake_logits, 0.0f);
+    d_.backward(r.grad);
+  }
+
+  // T11: derivatives from phases 1 and 2 are summed and applied to D.
+  opt_d_.step();
+  if (objective_ == GanObjective::kWasserstein) clip_critic_weights();
+
+  // Phase 3: train G with inaccurate label '1' for generated samples.
+  opt_g_.zero_grad();
+  {
+    Tensor logits3;
+    if (cs_) {
+      // Computation sharing: reuse phase 2's forward activations; only the
+      // loss branch differs.
+      logits3 = fake_logits;
+    } else {
+      Tensor z = noise(b, rng);
+      Tensor fake = g_.forward(z, /*train=*/true);
+      logits3 = d_.forward(fake, /*train=*/true);
+    }
+    LossResult r = phase_loss(logits3, /*real_label=*/true);
+    stats.g_loss = r.loss;
+    // Error propagates all the way back through D into G; D's accumulated
+    // gradients from this pass are discarded at the next zero_grad.
+    Tensor grad_at_g_out = d_.backward(r.grad);
+    g_.backward(grad_at_g_out);
+    opt_g_.step();
+  }
+
+  return stats;
+}
+
+Tensor GanTrainer::sample(std::size_t count, Rng& rng) {
+  Tensor z = noise(count, rng);
+  return g_.forward(z, /*train=*/false);
+}
+
+}  // namespace reramdl::nn

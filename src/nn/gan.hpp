@@ -1,0 +1,76 @@
+// GAN training loop, phase-for-phase the ReGAN schedule (paper Fig. 8):
+//   ① train D on real samples (labels '1'),
+//   ② train D on generated samples (labels '0'),
+//   then one D weight update from the summed derivatives (T11),
+//   ③ train G through the concatenated G+D network with inaccurate labels
+//     ('1' for generated samples), updating only G (T14).
+//
+// With computation sharing (Fig. 9) enabled, ② and ③ reuse the same forward
+// pass: the two loss branches fork at the loss function, and ③'s backward
+// runs against the intermediate values stored during ② — including the
+// deliberate staleness of the paper's schedule, where D's weights update at
+// T11 while ③'s error is still propagating until T14.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace reramdl::nn {
+
+// Training objective. kMinimaxBce is the DCGAN objective the paper's Fig. 8
+// schedule describes (labels '1' / '0' through a sigmoid BCE loss);
+// kWasserstein is the improved-WGAN-style critic objective the paper cites
+// as a ReGAN-supported variant — D becomes a critic whose weights are
+// clipped to [-clip, clip] after each update.
+enum class GanObjective { kMinimaxBce, kWasserstein };
+
+struct GanStepStats {
+  float d_loss_real = 0.0f;
+  float d_loss_fake = 0.0f;
+  float g_loss = 0.0f;
+  // Fraction of real (resp. fake) samples D classifies correctly.
+  double d_acc_real = 0.0;
+  double d_acc_fake = 0.0;
+};
+
+class GanTrainer {
+ public:
+  // latent_dim: size of the uniform noise vector z (DCGAN input).
+  // computation_sharing: share ②'s forward pass with ③ (ReGAN CS).
+  GanTrainer(Sequential& generator, Sequential& discriminator,
+             Optimizer& opt_g, Optimizer& opt_d, std::size_t latent_dim,
+             bool computation_sharing,
+             GanObjective objective = GanObjective::kMinimaxBce,
+             float weight_clip = 0.01f);
+
+  // One batch of GAN training; real_batch is [B, C, H, W].
+  GanStepStats step(const Tensor& real_batch, Rng& rng);
+
+  // Sample a batch of generator outputs (eval mode).
+  Tensor sample(std::size_t count, Rng& rng);
+
+  std::size_t latent_dim() const { return latent_dim_; }
+  GanObjective objective() const { return objective_; }
+
+ private:
+  Tensor noise(std::size_t batch, Rng& rng) const;
+  // Phase losses under the configured objective. `real_label` is the BCE
+  // target; for Wasserstein it selects the critic sign.
+  LossResult phase_loss(const Tensor& logits, bool real_label) const;
+  void clip_critic_weights();
+
+  Sequential& g_;
+  Sequential& d_;
+  Optimizer& opt_g_;
+  Optimizer& opt_d_;
+  std::size_t latent_dim_;
+  bool cs_;
+  GanObjective objective_;
+  float weight_clip_;
+};
+
+}  // namespace reramdl::nn

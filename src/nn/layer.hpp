@@ -1,0 +1,50 @@
+// Layer interface for the functional NN library.
+//
+// Every layer implements forward and backward so the simulator can run the
+// complete training loop the paper accelerates (forward, error
+// back-propagation, weight update), not just inference.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reramdl::nn {
+
+// Non-owning reference to a learnable parameter and its gradient buffer.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // x is a batch; `train` selects training-time behaviour (batch-norm batch
+  // statistics, cached activations for backward).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // grad_out is dLoss/d(output); returns dLoss/d(input). Parameter gradients
+  // are *accumulated* into the grad buffers (the optimizer zeroes them),
+  // which is exactly the batch-accumulate-then-update scheme the PipeLayer
+  // pipeline relies on.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  // Architecture-level description given the input cube dims; also reports
+  // the output dims through the returned spec.
+  virtual LayerSpec spec(std::size_t in_c, std::size_t in_h,
+                         std::size_t in_w) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace reramdl::nn

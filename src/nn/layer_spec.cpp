@@ -1,0 +1,239 @@
+#include "nn/layer_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kTransposedConv: return "tconv";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kActivation: return "act";
+    case LayerKind::kBatchNorm: return "bn";
+    case LayerKind::kFlatten: return "flatten";
+  }
+  return "?";
+}
+
+bool LayerSpec::is_weighted() const {
+  return kind == LayerKind::kDense || kind == LayerKind::kConv ||
+         kind == LayerKind::kTransposedConv;
+}
+
+std::size_t LayerSpec::weight_count() const {
+  switch (kind) {
+    case LayerKind::kDense:
+      return in_size() * out_size();
+    case LayerKind::kConv:
+    case LayerKind::kTransposedConv:
+      return kh * kw * in_c * out_c;
+    case LayerKind::kBatchNorm:
+      return 2 * in_c;  // gamma + beta
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerSpec::matrix_rows() const {
+  switch (kind) {
+    case LayerKind::kDense:
+      return in_size();
+    case LayerKind::kConv:
+    case LayerKind::kTransposedConv:
+      return kh * kw * in_c;
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerSpec::matrix_cols() const {
+  return is_weighted() ? out_c : 0;
+}
+
+std::size_t LayerSpec::vectors_per_sample() const {
+  switch (kind) {
+    case LayerKind::kDense:
+      return 1;
+    case LayerKind::kConv:
+    case LayerKind::kTransposedConv:
+      return out_h * out_w;
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerSpec::macs_per_sample() const {
+  if (!is_weighted()) return 0;
+  return matrix_rows() * matrix_cols() * vectors_per_sample();
+}
+
+std::size_t LayerSpec::activation_bytes_per_sample() const {
+  return 4 * (in_size() + out_size());
+}
+
+std::size_t NetworkSpec::weighted_layers() const {
+  std::size_t n = 0;
+  for (const auto& l : layers)
+    if (l.is_weighted()) ++n;
+  return n;
+}
+
+std::size_t NetworkSpec::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.weight_count();
+  return n;
+}
+
+std::size_t NetworkSpec::total_macs_per_sample() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.macs_per_sample();
+  return n;
+}
+
+NetworkSpecBuilder::NetworkSpecBuilder(std::string name, std::size_t c,
+                                       std::size_t h, std::size_t w)
+    : c_(c), h_(h), w_(w) {
+  spec_.name = std::move(name);
+  spec_.input_c = c;
+  spec_.input_h = h;
+  spec_.input_w = w;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::conv(std::size_t out_c, std::size_t k,
+                                             std::size_t stride, std::size_t pad) {
+  LayerSpec l;
+  l.kind = LayerKind::kConv;
+  l.name = "conv" + std::to_string(spec_.layers.size());
+  l.in_c = c_;
+  l.in_h = h_;
+  l.in_w = w_;
+  l.kh = l.kw = k;
+  l.stride = stride;
+  l.pad = pad;
+  RERAMDL_CHECK_GE(h_ + 2 * pad + 1, k + 1);
+  l.out_c = out_c;
+  l.out_h = (h_ + 2 * pad - k) / stride + 1;
+  l.out_w = (w_ + 2 * pad - k) / stride + 1;
+  c_ = l.out_c;
+  h_ = l.out_h;
+  w_ = l.out_w;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::tconv(std::size_t out_c, std::size_t k,
+                                              std::size_t stride, std::size_t pad) {
+  LayerSpec l;
+  l.kind = LayerKind::kTransposedConv;
+  l.name = "tconv" + std::to_string(spec_.layers.size());
+  l.in_c = c_;
+  l.in_h = h_;
+  l.in_w = w_;
+  l.kh = l.kw = k;
+  l.stride = stride;
+  l.pad = pad;
+  l.out_c = out_c;
+  RERAMDL_CHECK_GE((h_ - 1) * stride + k, 2 * pad);
+  l.out_h = (h_ - 1) * stride + k - 2 * pad;
+  l.out_w = (w_ - 1) * stride + k - 2 * pad;
+  c_ = l.out_c;
+  h_ = l.out_h;
+  w_ = l.out_w;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::pool(std::size_t k, std::size_t stride) {
+  if (stride == 0) stride = k;
+  LayerSpec l;
+  l.kind = LayerKind::kPool;
+  l.name = "pool" + std::to_string(spec_.layers.size());
+  l.in_c = c_;
+  l.in_h = h_;
+  l.in_w = w_;
+  l.kh = l.kw = k;
+  l.stride = stride;
+  l.out_c = c_;
+  l.out_h = (h_ - k) / stride + 1;
+  l.out_w = (w_ - k) / stride + 1;
+  h_ = l.out_h;
+  w_ = l.out_w;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::dense(std::size_t out_features) {
+  LayerSpec l;
+  l.kind = LayerKind::kDense;
+  l.name = "fc" + std::to_string(spec_.layers.size());
+  l.in_c = c_ * h_ * w_;
+  l.in_h = l.in_w = 1;
+  l.out_c = out_features;
+  l.out_h = l.out_w = 1;
+  c_ = out_features;
+  h_ = w_ = 1;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::activation(std::string act_name) {
+  LayerSpec l;
+  l.kind = LayerKind::kActivation;
+  l.name = std::move(act_name);
+  l.in_c = l.out_c = c_;
+  l.in_h = l.out_h = h_;
+  l.in_w = l.out_w = w_;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::batchnorm() {
+  LayerSpec l;
+  l.kind = LayerKind::kBatchNorm;
+  l.name = "bn" + std::to_string(spec_.layers.size());
+  l.in_c = l.out_c = c_;
+  l.in_h = l.out_h = h_;
+  l.in_w = l.out_w = w_;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::flatten() {
+  LayerSpec l;
+  l.kind = LayerKind::kFlatten;
+  l.name = "flatten" + std::to_string(spec_.layers.size());
+  l.in_c = c_;
+  l.in_h = h_;
+  l.in_w = w_;
+  l.out_c = c_ * h_ * w_;
+  l.out_h = l.out_w = 1;
+  c_ = l.out_c;
+  h_ = w_ = 1;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpecBuilder& NetworkSpecBuilder::reshape(std::size_t c, std::size_t h,
+                                                std::size_t w) {
+  RERAMDL_CHECK_EQ(c_ * h_ * w_, c * h * w);
+  LayerSpec l;
+  l.kind = LayerKind::kFlatten;
+  l.name = "reshape" + std::to_string(spec_.layers.size());
+  l.in_c = c_;
+  l.in_h = h_;
+  l.in_w = w_;
+  l.out_c = c;
+  l.out_h = h;
+  l.out_w = w;
+  c_ = c;
+  h_ = h;
+  w_ = w;
+  spec_.layers.push_back(l);
+  return *this;
+}
+
+NetworkSpec NetworkSpecBuilder::build() && { return std::move(spec_); }
+
+}  // namespace reramdl::nn

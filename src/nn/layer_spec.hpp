@@ -1,0 +1,99 @@
+// LayerSpec: an architecture-level description of one network layer.
+//
+// The mapping engine, the pipeline timing models, and the GPU baseline all
+// consume LayerSpecs rather than live nn::Layer objects, so that ImageNet-
+// scale networks can be costed without allocating their weights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reramdl::nn {
+
+enum class LayerKind {
+  kDense,
+  kConv,
+  kTransposedConv,  // fractional-strided convolution (FCNN, paper Fig. 7)
+  kPool,
+  kActivation,
+  kBatchNorm,
+  kFlatten,
+};
+
+const char* to_string(LayerKind kind);
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kActivation;
+  std::string name;
+  // Input / output data-cube dims; dense layers use (c, 1, 1).
+  std::size_t in_c = 0, in_h = 1, in_w = 1;
+  std::size_t out_c = 0, out_h = 1, out_w = 1;
+  // Kernel geometry for conv-like and pool layers.
+  std::size_t kh = 0, kw = 0, stride = 1, pad = 0;
+
+  std::size_t in_size() const { return in_c * in_h * in_w; }
+  std::size_t out_size() const { return out_c * out_h * out_w; }
+
+  // True for layers whose weights occupy crossbar arrays.
+  bool is_weighted() const;
+  // Number of weight values (excluding biases).
+  std::size_t weight_count() const;
+  // Rows/cols of the flattened weight matrix mapped onto crossbars
+  // (paper Fig. 4: 3x3x128 kernels x 256 outputs -> 1152 x 256).
+  std::size_t matrix_rows() const;
+  std::size_t matrix_cols() const;
+  // Input vectors pushed through that matrix per sample in the forward pass
+  // (= output pixels for conv, 1 for dense).
+  std::size_t vectors_per_sample() const;
+  // Multiply-accumulate operations per sample, forward pass.
+  std::size_t macs_per_sample() const;
+  // Bytes of activations read + written per sample (float32), used by the
+  // GPU roofline model.
+  std::size_t activation_bytes_per_sample() const;
+};
+
+// A network described purely by its shape: what the timing/energy models and
+// the mapping engine operate on.
+struct NetworkSpec {
+  std::string name;
+  std::size_t input_c = 0, input_h = 0, input_w = 0;
+  std::vector<LayerSpec> layers;
+
+  // Number of weighted layers (crossbar-mapped pipeline stages, the paper's L).
+  std::size_t weighted_layers() const;
+  std::size_t total_weights() const;
+  std::size_t total_macs_per_sample() const;
+};
+
+// Incremental builder that tracks the current data-cube dims, mirroring how
+// the paper chains CONV / POOL / IP stages.
+class NetworkSpecBuilder {
+ public:
+  NetworkSpecBuilder(std::string name, std::size_t c, std::size_t h, std::size_t w);
+
+  NetworkSpecBuilder& conv(std::size_t out_c, std::size_t k, std::size_t stride = 1,
+                           std::size_t pad = 0);
+  NetworkSpecBuilder& tconv(std::size_t out_c, std::size_t k, std::size_t stride,
+                            std::size_t pad);
+  NetworkSpecBuilder& pool(std::size_t k, std::size_t stride = 0);  // 0 = k
+  NetworkSpecBuilder& dense(std::size_t out_features);
+  NetworkSpecBuilder& activation(std::string act_name = "relu");
+  NetworkSpecBuilder& batchnorm();
+  NetworkSpecBuilder& flatten();
+  // Reinterpret the current vector as a (c, h, w) cube ("project and
+  // reshape" at the head of the DCGAN generator). Element count must match.
+  NetworkSpecBuilder& reshape(std::size_t c, std::size_t h, std::size_t w);
+
+  NetworkSpec build() &&;
+
+  std::size_t cur_c() const { return c_; }
+  std::size_t cur_h() const { return h_; }
+  std::size_t cur_w() const { return w_; }
+
+ private:
+  NetworkSpec spec_;
+  std::size_t c_, h_, w_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,87 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  RERAMDL_CHECK_EQ(logits.shape().rank(), 2u);
+  const std::size_t n = logits.shape()[0], k = logits.shape()[1];
+  RERAMDL_CHECK_EQ(labels.size(), n);
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float* pl = logits.data();
+  float* pg = r.grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RERAMDL_CHECK_LT(labels[i], k);
+    const float* row = pl + i * k;
+    const float mx = *std::max_element(row, row + k);
+    double z = 0.0;
+    for (std::size_t j = 0; j < k; ++j) z += std::exp(static_cast<double>(row[j] - mx));
+    const double log_z = std::log(z);
+    loss += log_z - static_cast<double>(row[labels[i]] - mx);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - mx)) / z;
+      pg[i * k + j] =
+          (static_cast<float>(p) - (j == labels[i] ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  r.loss = static_cast<float>(loss / static_cast<double>(n));
+  return r;
+}
+
+LossResult bce_with_logits(const Tensor& logits, const std::vector<float>& targets) {
+  const std::size_t n = targets.size();
+  RERAMDL_CHECK_EQ(logits.numel(), n);
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = logits[i];
+    const double t = targets[i];
+    // log(1 + exp(-|x|)) formulation: stable for large |x|.
+    loss += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::abs(x)));
+    const double s = 1.0 / (1.0 + std::exp(-x));
+    r.grad[i] = static_cast<float>(s - t) * inv_n;
+  }
+  r.loss = static_cast<float>(loss / static_cast<double>(n));
+  return r;
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  RERAMDL_CHECK_EQ(pred.numel(), target.numel());
+  LossResult r;
+  r.grad = Tensor(pred.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += 0.5 * static_cast<double>(d) * d;
+    r.grad[i] = d * inv_n;
+  }
+  r.loss = static_cast<float>(loss / static_cast<double>(pred.numel()));
+  return r;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  RERAMDL_CHECK_EQ(logits.shape().rank(), 2u);
+  const std::size_t n = logits.shape()[0], k = logits.shape()[1];
+  RERAMDL_CHECK_EQ(labels.size(), n);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    const std::size_t arg = static_cast<std::size_t>(
+        std::max_element(row, row + k) - row);
+    if (arg == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace reramdl::nn

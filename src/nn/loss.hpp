@@ -1,0 +1,32 @@
+// Loss functions: softmax cross-entropy for classification (PipeLayer
+// benchmarks) and binary cross-entropy on logits for the GAN discriminator /
+// generator objectives (ReGAN, labels '1' for real and '0' for fake).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace reramdl::nn {
+
+struct LossResult {
+  float loss = 0.0f;      // mean over the batch
+  Tensor grad;            // dLoss/dLogits, already averaged over the batch
+};
+
+// logits: [N, K]; labels: class index per sample.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+// logits: [N, 1] (or [N]); targets: 0/1 per sample. Numerically-stable
+// sigmoid BCE.
+LossResult bce_with_logits(const Tensor& logits, const std::vector<float>& targets);
+
+// Mean squared error; targets has the same shape as predictions.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+// Classification accuracy of logits against labels.
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace reramdl::nn

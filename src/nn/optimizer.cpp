@@ -1,0 +1,62 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    Tensor& v = velocity_[i];
+    RERAMDL_CHECK_EQ(w.numel(), g.numel());
+    for (std::size_t j = 0; j < w.numel(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * g[j];
+      w[j] += v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    RERAMDL_CHECK_EQ(w.numel(), g.numel());
+    for (std::size_t j = 0; j < w.numel(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
+      const double mh = m_[i][j] / bc1;
+      const double vh = v_[i][j] / bc2;
+      w[j] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+    }
+  }
+}
+
+}  // namespace reramdl::nn

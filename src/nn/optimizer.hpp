@@ -1,0 +1,47 @@
+// Optimizers. The paper's training pipeline accumulates weight gradients over
+// a batch and applies them in a single update cycle; step() is that update
+// cycle, and zero_grad() models clearing the update accumulators.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+  std::size_t num_params() const { return params_.size(); }
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace reramdl::nn

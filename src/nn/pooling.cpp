@@ -1,0 +1,155 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+namespace {
+
+struct PoolDims {
+  std::size_t n, c, h, w, oh, ow;
+};
+
+PoolDims pool_dims(const Shape& s, std::size_t k, std::size_t stride) {
+  RERAMDL_CHECK_EQ(s.rank(), 4u);
+  PoolDims d{s[0], s[1], s[2], s[3], 0, 0};
+  RERAMDL_CHECK_GE(d.h, k);
+  RERAMDL_CHECK_GE(d.w, k);
+  d.oh = (d.h - k) / stride + 1;
+  d.ow = (d.w - k) / stride + 1;
+  return d;
+}
+
+}  // namespace
+
+MaxPool2D::MaxPool2D(std::size_t k, std::size_t stride)
+    : k_(k), stride_(stride == 0 ? k : stride) {}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool train) {
+  const PoolDims d = pool_dims(x.shape(), k_, stride_);
+  Tensor y(Shape{d.n, d.c, d.oh, d.ow});
+  if (train) {
+    cached_in_shape_ = x.shape();
+    argmax_.assign(y.numel(), 0);
+  }
+  const float* px = x.data();
+  float* py = y.data();
+  std::size_t oi = 0;
+  for (std::size_t s = 0; s < d.n; ++s) {
+    for (std::size_t c = 0; c < d.c; ++c) {
+      const std::size_t base = (s * d.c + c) * d.h * d.w;
+      for (std::size_t oy = 0; oy < d.oh; ++oy) {
+        for (std::size_t ox = 0; ox < d.ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::size_t idx =
+                  base + (oy * stride_ + ky) * d.w + (ox * stride_ + kx);
+              if (px[idx] > best) {
+                best = px[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          py[oi] = best;
+          if (train) argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_EQ(grad_out.numel(), argmax_.size());
+  Tensor gx(cached_in_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i)
+    gx[argmax_[i]] += grad_out[i];
+  return gx;
+}
+
+LayerSpec MaxPool2D::spec(std::size_t in_c, std::size_t in_h,
+                          std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kPool;
+  l.name = "maxpool";
+  l.in_c = l.out_c = in_c;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.kh = l.kw = k_;
+  l.stride = stride_;
+  l.out_h = (in_h - k_) / stride_ + 1;
+  l.out_w = (in_w - k_) / stride_ + 1;
+  return l;
+}
+
+AvgPool2D::AvgPool2D(std::size_t k, std::size_t stride)
+    : k_(k), stride_(stride == 0 ? k : stride) {}
+
+Tensor AvgPool2D::forward(const Tensor& x, bool train) {
+  const PoolDims d = pool_dims(x.shape(), k_, stride_);
+  if (train) cached_in_shape_ = x.shape();
+  Tensor y(Shape{d.n, d.c, d.oh, d.ow});
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  const float* px = x.data();
+  float* py = y.data();
+  std::size_t oi = 0;
+  for (std::size_t s = 0; s < d.n; ++s) {
+    for (std::size_t c = 0; c < d.c; ++c) {
+      const std::size_t base = (s * d.c + c) * d.h * d.w;
+      for (std::size_t oy = 0; oy < d.oh; ++oy) {
+        for (std::size_t ox = 0; ox < d.ow; ++ox, ++oi) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < k_; ++ky)
+            for (std::size_t kx = 0; kx < k_; ++kx)
+              acc += px[base + (oy * stride_ + ky) * d.w + (ox * stride_ + kx)];
+          py[oi] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_out) {
+  const PoolDims d = pool_dims(cached_in_shape_, k_, stride_);
+  RERAMDL_CHECK_EQ(grad_out.numel(), d.n * d.c * d.oh * d.ow);
+  Tensor gx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  const float* pg = grad_out.data();
+  float* px = gx.data();
+  std::size_t oi = 0;
+  for (std::size_t s = 0; s < d.n; ++s) {
+    for (std::size_t c = 0; c < d.c; ++c) {
+      const std::size_t base = (s * d.c + c) * d.h * d.w;
+      for (std::size_t oy = 0; oy < d.oh; ++oy) {
+        for (std::size_t ox = 0; ox < d.ow; ++ox, ++oi) {
+          const float g = pg[oi] * inv;
+          for (std::size_t ky = 0; ky < k_; ++ky)
+            for (std::size_t kx = 0; kx < k_; ++kx)
+              px[base + (oy * stride_ + ky) * d.w + (ox * stride_ + kx)] += g;
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+LayerSpec AvgPool2D::spec(std::size_t in_c, std::size_t in_h,
+                          std::size_t in_w) const {
+  LayerSpec l;
+  l.kind = LayerKind::kPool;
+  l.name = "avgpool";
+  l.in_c = l.out_c = in_c;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.kh = l.kw = k_;
+  l.stride = stride_;
+  l.out_h = (in_h - k_) / stride_ + 1;
+  l.out_w = (in_w - k_) / stride_ + 1;
+  return l;
+}
+
+}  // namespace reramdl::nn

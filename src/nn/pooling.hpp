@@ -1,0 +1,39 @@
+// Pooling layers (paper's POOL). MaxPool mirrors the hardware realization in
+// PipeLayer — "a register is used to keep the maximum value of a sequence" —
+// and AvgPool is the mean variant the paper also describes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::size_t k, std::size_t stride = 0);  // stride 0 = k
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "maxpool"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+ private:
+  std::size_t k_, stride_;
+  Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(std::size_t k, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "avgpool"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+ private:
+  std::size_t k_, stride_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace reramdl::nn

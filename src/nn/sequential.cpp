@@ -1,0 +1,55 @@
+#include "nn/sequential.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+void Sequential::add(LayerPtr layer) {
+  RERAMDL_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : layers_)
+    for (auto& p : l->params()) out.push_back(p);
+  return out;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  RERAMDL_CHECK_LT(i, layers_.size());
+  return *layers_[i];
+}
+
+NetworkSpec Sequential::specs(std::string name, std::size_t in_c,
+                              std::size_t in_h, std::size_t in_w) const {
+  NetworkSpec net;
+  net.name = std::move(name);
+  net.input_c = in_c;
+  net.input_h = in_h;
+  net.input_w = in_w;
+  std::size_t c = in_c, h = in_h, w = in_w;
+  for (const auto& l : layers_) {
+    LayerSpec s = l->spec(c, h, w);
+    c = s.out_c;
+    h = s.out_h;
+    w = s.out_w;
+    net.layers.push_back(std::move(s));
+  }
+  return net;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,46 @@
+// Sequential network container: the layer chain of Fig. 1 (CONV -> POOL ->
+// ... -> IP). Provides the forward / backward passes the pipeline models
+// schedule and the spec extraction the mapping engine consumes.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace reramdl::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(LayerPtr layer);
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& x, bool train);
+  // Returns dLoss/dInput — needed by the GAN generator pass, where the error
+  // propagates through the whole discriminator into the generator.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<ParamRef> params();
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  // Shape-propagated specs for an input data cube (c, h, w).
+  NetworkSpec specs(std::string name, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,93 @@
+#include "nn/trainer.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::nn {
+
+Tensor slice_batch(const Tensor& data, std::size_t first, std::size_t count) {
+  RERAMDL_CHECK_GE(data.shape().rank(), 1u);
+  const std::size_t n = data.shape()[0];
+  RERAMDL_CHECK_LE(first + count, n);
+  std::vector<std::size_t> dims = data.shape().dims();
+  dims[0] = count;
+  Tensor out{Shape(dims)};
+  const std::size_t sample = data.numel() / n;
+  for (std::size_t i = 0; i < count * sample; ++i)
+    out[i] = data[first * sample + i];
+  return out;
+}
+
+namespace {
+
+Tensor gather_batch(const Tensor& data, const std::vector<std::size_t>& order,
+                    std::size_t first, std::size_t count) {
+  const std::size_t n = data.shape()[0];
+  std::vector<std::size_t> dims = data.shape().dims();
+  dims[0] = count;
+  Tensor out{Shape(dims)};
+  const std::size_t sample = data.numel() / n;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = order[first + i];
+    for (std::size_t j = 0; j < sample; ++j)
+      out[i * sample + j] = data[src * sample + j];
+  }
+  return out;
+}
+
+}  // namespace
+
+EpochStats Trainer::train_epoch(const Tensor& images,
+                                const std::vector<std::size_t>& labels,
+                                std::size_t batch_size, Rng& rng) {
+  const std::size_t n = images.shape()[0];
+  RERAMDL_CHECK_EQ(labels.size(), n);
+  RERAMDL_CHECK_GT(batch_size, 0u);
+  const auto order = shuffled_indices(n, rng);
+
+  EpochStats stats;
+  double loss_sum = 0.0, acc_sum = 0.0;
+  for (std::size_t first = 0; first + batch_size <= n; first += batch_size) {
+    Tensor xb = gather_batch(images, order, first, batch_size);
+    std::vector<std::size_t> yb(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) yb[i] = labels[order[first + i]];
+
+    opt_.zero_grad();
+    Tensor logits = net_.forward(xb, /*train=*/true);
+    LossResult r = softmax_cross_entropy(logits, yb);
+    net_.backward(r.grad);
+    opt_.step();
+
+    loss_sum += r.loss;
+    acc_sum += accuracy(logits, yb);
+    ++stats.batches;
+  }
+  RERAMDL_CHECK_GT(stats.batches, 0u);
+  stats.mean_loss = loss_sum / static_cast<double>(stats.batches);
+  stats.accuracy = acc_sum / static_cast<double>(stats.batches);
+  return stats;
+}
+
+EpochStats Trainer::evaluate(const Tensor& images,
+                             const std::vector<std::size_t>& labels,
+                             std::size_t batch_size) {
+  const std::size_t n = images.shape()[0];
+  RERAMDL_CHECK_EQ(labels.size(), n);
+  EpochStats stats;
+  double loss_sum = 0.0, acc_sum = 0.0;
+  for (std::size_t first = 0; first + batch_size <= n; first += batch_size) {
+    Tensor xb = slice_batch(images, first, batch_size);
+    std::vector<std::size_t> yb(labels.begin() + static_cast<long>(first),
+                                labels.begin() + static_cast<long>(first + batch_size));
+    Tensor logits = net_.forward(xb, /*train=*/false);
+    LossResult r = softmax_cross_entropy(logits, yb);
+    loss_sum += r.loss;
+    acc_sum += accuracy(logits, yb);
+    ++stats.batches;
+  }
+  RERAMDL_CHECK_GT(stats.batches, 0u);
+  stats.mean_loss = loss_sum / static_cast<double>(stats.batches);
+  stats.accuracy = acc_sum / static_cast<double>(stats.batches);
+  return stats;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,43 @@
+// Supervised training loop: batch-synchronous SGD exactly as the PipeLayer
+// pipeline assumes — all inputs in a batch see the same weights, gradients
+// accumulate across the batch, and a single update applies at batch end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace reramdl::nn {
+
+// Extract samples [first, first+count) along axis 0.
+Tensor slice_batch(const Tensor& data, std::size_t first, std::size_t count);
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t batches = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(Sequential& net, Optimizer& opt) : net_(net), opt_(opt) {}
+
+  // One pass over the data in shuffled order; labels parallel to axis 0.
+  EpochStats train_epoch(const Tensor& images,
+                         const std::vector<std::size_t>& labels,
+                         std::size_t batch_size, Rng& rng);
+
+  EpochStats evaluate(const Tensor& images,
+                      const std::vector<std::size_t>& labels,
+                      std::size_t batch_size);
+
+ private:
+  Sequential& net_;
+  Optimizer& opt_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,83 @@
+#include "nn/transposed_conv2d.hpp"
+
+#include "common/check.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace reramdl::nn {
+
+TransposedConv2D::TransposedConv2D(std::size_t in_c, std::size_t in_h,
+                                   std::size_t in_w, std::size_t out_c,
+                                   std::size_t k, std::size_t stride,
+                                   std::size_t pad, Rng& rng)
+    : in_c_(in_c),
+      in_h_(in_h),
+      in_w_(in_w),
+      out_c_(out_c),
+      k_(k),
+      stride_(stride),
+      pad_(pad),
+      b_(Shape{out_c}),
+      gb_(Shape{out_c}) {
+  RERAMDL_CHECK_GE(k, pad + 1);  // equivalent conv needs pad' = k-1-pad >= 0
+  const std::size_t dh = (in_h - 1) * stride + 1;
+  const std::size_t dw = (in_w - 1) * stride + 1;
+  dilated_geom_ = ConvGeometry{in_c, dh, dw, k, k, 1, k - 1 - pad};
+  const std::size_t psz = dilated_geom_.patch_size();
+  w_ = Tensor::he_normal(Shape{psz, out_c}, rng, psz);
+  gw_ = Tensor(Shape{psz, out_c});
+}
+
+Tensor TransposedConv2D::forward(const Tensor& x, bool train) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 4u);
+  RERAMDL_CHECK_EQ(x.shape()[1], in_c_);
+  RERAMDL_CHECK_EQ(x.shape()[2], in_h_);
+  RERAMDL_CHECK_EQ(x.shape()[3], in_w_);
+  const std::size_t n = x.shape()[0];
+  Tensor dilated = zero_insert(x, stride_);
+  Tensor cols = im2col(dilated, dilated_geom_);
+  Tensor rows = matmul_fn_ ? matmul_fn_(cols, w_) : ops::matmul(cols, w_);
+  ops::add_row_bias(rows, b_);
+  if (train) {
+    cached_cols_ = std::move(cols);
+    cached_batch_ = n;
+  }
+  return detail::rows_to_nchw(rows, n, out_c_, dilated_geom_.out_h(),
+                              dilated_geom_.out_w());
+}
+
+Tensor TransposedConv2D::backward(const Tensor& grad_out) {
+  RERAMDL_CHECK_GT(cached_batch_, 0u);
+  Tensor grows = detail::nchw_to_rows(grad_out);
+  gw_ += ops::matmul_transposed_a(cached_cols_, grows);
+  gb_ += ops::column_sums(grows);
+  Tensor gcols = ops::matmul_transposed_b(grows, w_);
+  Tensor gdilated = col2im(gcols, dilated_geom_, cached_batch_);
+  return zero_insert_adjoint(gdilated, stride_, in_h_, in_w_);
+}
+
+std::vector<ParamRef> TransposedConv2D::params() {
+  return {{&w_, &gw_}, {&b_, &gb_}};
+}
+
+LayerSpec TransposedConv2D::spec(std::size_t in_c, std::size_t in_h,
+                                 std::size_t in_w) const {
+  RERAMDL_CHECK_EQ(in_c, in_c_);
+  RERAMDL_CHECK_EQ(in_h, in_h_);
+  RERAMDL_CHECK_EQ(in_w, in_w_);
+  LayerSpec l;
+  l.kind = LayerKind::kTransposedConv;
+  l.name = "tconv2d";
+  l.in_c = in_c_;
+  l.in_h = in_h_;
+  l.in_w = in_w_;
+  l.kh = l.kw = k_;
+  l.stride = stride_;
+  l.pad = pad_;
+  l.out_c = out_c_;
+  l.out_h = dilated_geom_.out_h();
+  l.out_w = dilated_geom_.out_w();
+  return l;
+}
+
+}  // namespace reramdl::nn

@@ -1,0 +1,44 @@
+// Fractional-strided convolution (FCNN) — the generator-side layer of DCGAN.
+//
+// Implements paper Fig. 7 exactly: the forward pass inserts zeros between
+// input pixels (factor = stride) and runs an ordinary stride-1 convolution
+// with flipped-equivalent padding k-1-pad; the error back-propagation is the
+// adjoint, i.e. a strided convolution. Output size: (H-1)*stride + k - 2*pad.
+#pragma once
+
+#include "nn/dense.hpp"
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace reramdl::nn {
+
+class TransposedConv2D : public Layer {
+ public:
+  TransposedConv2D(std::size_t in_c, std::size_t in_h, std::size_t in_w,
+                   std::size_t out_c, std::size_t k, std::size_t stride,
+                   std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "tconv2d"; }
+  LayerSpec spec(std::size_t in_c, std::size_t in_h, std::size_t in_w) const override;
+
+  Tensor& weights() { return w_; }
+  Tensor& bias() { return b_; }
+  void set_forward_matmul(MatmulFn fn) { matmul_fn_ = std::move(fn); }
+
+  std::size_t out_h() const { return dilated_geom_.out_h(); }
+  std::size_t out_w() const { return dilated_geom_.out_w(); }
+
+ private:
+  std::size_t in_c_, in_h_, in_w_, out_c_, k_, stride_, pad_;
+  // Geometry of the equivalent stride-1 convolution over the dilated input.
+  ConvGeometry dilated_geom_;
+  Tensor w_, b_, gw_, gb_;
+  Tensor cached_cols_;
+  std::size_t cached_batch_ = 0;
+  MatmulFn matmul_fn_;
+};
+
+}  // namespace reramdl::nn

@@ -1,0 +1,126 @@
+#include "tensor/im2col.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl {
+
+std::size_t ConvGeometry::out_h() const {
+  RERAMDL_CHECK_GE(in_h + 2 * pad + 1, kh + 1);
+  return (in_h + 2 * pad - kh) / stride + 1;
+}
+
+std::size_t ConvGeometry::out_w() const {
+  RERAMDL_CHECK_GE(in_w + 2 * pad + 1, kw + 1);
+  return (in_w + 2 * pad - kw) / stride + 1;
+}
+
+Tensor im2col(const Tensor& x, const ConvGeometry& g) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 4u);
+  const std::size_t n = x.shape()[0];
+  RERAMDL_CHECK_EQ(x.shape()[1], g.in_c);
+  RERAMDL_CHECK_EQ(x.shape()[2], g.in_h);
+  RERAMDL_CHECK_EQ(x.shape()[3], g.in_w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t psz = g.patch_size();
+  Tensor cols(Shape{n * oh * ow, psz});
+
+  const float* px = x.data();
+  float* pc = cols.data();
+  const std::size_t img = g.in_c * g.in_h * g.in_w;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* row = pc + ((s * oh + oy) * ow + ox) * psz;
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          for (std::size_t ky = 0; ky < g.kh; ++ky) {
+            // signed arithmetic for the padded coordinate
+            const long iy = static_cast<long>(oy * g.stride + ky) -
+                            static_cast<long>(g.pad);
+            for (std::size_t kx = 0; kx < g.kw; ++kx) {
+              const long ix = static_cast<long>(ox * g.stride + kx) -
+                              static_cast<long>(g.pad);
+              float v = 0.0f;
+              if (iy >= 0 && iy < static_cast<long>(g.in_h) && ix >= 0 &&
+                  ix < static_cast<long>(g.in_w)) {
+                v = px[s * img + (c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                       static_cast<std::size_t>(ix)];
+              }
+              row[(c * g.kh + ky) * g.kw + kx] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t psz = g.patch_size();
+  RERAMDL_CHECK_EQ(cols.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(cols.shape()[0], batch * oh * ow);
+  RERAMDL_CHECK_EQ(cols.shape()[1], psz);
+  Tensor x(Shape{batch, g.in_c, g.in_h, g.in_w});
+
+  const float* pc = cols.data();
+  float* px = x.data();
+  const std::size_t img = g.in_c * g.in_h * g.in_w;
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* row = pc + ((s * oh + oy) * ow + ox) * psz;
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          for (std::size_t ky = 0; ky < g.kh; ++ky) {
+            const long iy = static_cast<long>(oy * g.stride + ky) -
+                            static_cast<long>(g.pad);
+            if (iy < 0 || iy >= static_cast<long>(g.in_h)) continue;
+            for (std::size_t kx = 0; kx < g.kw; ++kx) {
+              const long ix = static_cast<long>(ox * g.stride + kx) -
+                              static_cast<long>(g.pad);
+              if (ix < 0 || ix >= static_cast<long>(g.in_w)) continue;
+              px[s * img + (c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                 static_cast<std::size_t>(ix)] += row[(c * g.kh + ky) * g.kw + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Tensor zero_insert(const Tensor& x, std::size_t factor) {
+  RERAMDL_CHECK_GE(factor, 1u);
+  RERAMDL_CHECK_EQ(x.shape().rank(), 4u);
+  const std::size_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+                    w = x.shape()[3];
+  if (factor == 1) return x;
+  const std::size_t dh = (h - 1) * factor + 1, dw = (w - 1) * factor + 1;
+  Tensor y(Shape{n, c, dh, dw});
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t iy = 0; iy < h; ++iy)
+        for (std::size_t ix = 0; ix < w; ++ix)
+          y.at(s, ch, iy * factor, ix * factor) = x.at(s, ch, iy, ix);
+  return y;
+}
+
+Tensor zero_insert_adjoint(const Tensor& g_dilated, std::size_t factor,
+                           std::size_t out_h, std::size_t out_w) {
+  RERAMDL_CHECK_GE(factor, 1u);
+  RERAMDL_CHECK_EQ(g_dilated.shape().rank(), 4u);
+  if (factor == 1) return g_dilated;
+  const std::size_t n = g_dilated.shape()[0], c = g_dilated.shape()[1];
+  RERAMDL_CHECK_EQ(g_dilated.shape()[2], (out_h - 1) * factor + 1);
+  RERAMDL_CHECK_EQ(g_dilated.shape()[3], (out_w - 1) * factor + 1);
+  Tensor y(Shape{n, c, out_h, out_w});
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t iy = 0; iy < out_h; ++iy)
+        for (std::size_t ix = 0; ix < out_w; ++ix)
+          y.at(s, ch, iy, ix) = g_dilated.at(s, ch, iy * factor, ix * factor);
+  return y;
+}
+
+}  // namespace reramdl

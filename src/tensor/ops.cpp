@@ -1,0 +1,101 @@
+#include "tensor/ops.hpp"
+
+#include "common/check.hpp"
+
+namespace reramdl::ops {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  RERAMDL_CHECK_EQ(b.shape()[0], k);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
+  RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
+  RERAMDL_CHECK_EQ(b.shape()[1], k);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
+  RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  RERAMDL_CHECK_EQ(b.shape()[0], m);
+  Tensor c(Shape{k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = pc + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(bias.shape().rank(), 1u);
+  const std::size_t m = x.shape()[0], n = x.shape()[1];
+  RERAMDL_CHECK_EQ(bias.shape()[0], n);
+  float* px = x.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) px[i * n + j] += pb[j];
+}
+
+Tensor column_sums(const Tensor& x) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
+  const std::size_t m = x.shape()[0], n = x.shape()[1];
+  Tensor s(Shape{n});
+  const float* px = x.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) s[j] += px[i * n + j];
+  return s;
+}
+
+Tensor transpose(const Tensor& x) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
+  const std::size_t m = x.shape()[0], n = x.shape()[1];
+  Tensor t(Shape{n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) t.data()[j * m + i] = x.data()[i * n + j];
+  return t;
+}
+
+}  // namespace reramdl::ops

@@ -1,0 +1,25 @@
+// Dense linear-algebra kernels for the NN library. These are the float
+// reference implementations; the crossbar path in src/circuit computes the
+// same contractions through quantized conductances.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace reramdl::ops {
+
+// C[m,n] = A[m,k] * B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C[m,n] = A[m,k] * B[n,k]^T
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b);
+// C[k,n] = A[m,k]^T * B[m,n]
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b);
+
+// y[m,n] = x[m,n] + bias[n] broadcast over rows.
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+// Column-wise sum of a [m,n] matrix -> [n].
+Tensor column_sums(const Tensor& x);
+
+Tensor transpose(const Tensor& x);  // [m,n] -> [n,m]
+
+}  // namespace reramdl::ops

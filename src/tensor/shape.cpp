@@ -1,0 +1,42 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace reramdl {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+
+Shape::Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+std::size_t Shape::dim(std::size_t i) const {
+  RERAMDL_CHECK_LT(i, dims_.size());
+  return dims_[i];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t d : dims_) n *= d;
+  return n;
+}
+
+std::size_t Shape::stride(std::size_t i) const {
+  RERAMDL_CHECK_LT(i, dims_.size());
+  std::size_t s = 1;
+  for (std::size_t j = i + 1; j < dims_.size(); ++j) s *= dims_[j];
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace reramdl

@@ -1,0 +1,35 @@
+// Tensor shape: a small vector of dimension extents with row-major strides.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace reramdl {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::vector<std::size_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::size_t dim(std::size_t i) const;
+  std::size_t operator[](std::size_t i) const { return dim(i); }
+  // Total number of elements (1 for a rank-0 shape).
+  std::size_t numel() const;
+  // Row-major stride of axis i (product of extents of later axes).
+  std::size_t stride(std::size_t i) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::string to_string() const;  // e.g. "[64, 3, 32, 32]"
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace reramdl

@@ -1,0 +1,117 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl {
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+
+float& Tensor::operator[](std::size_t i) {
+  RERAMDL_CHECK_LT(i, data_.size());
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  RERAMDL_CHECK_LT(i, data_.size());
+  return data_[i];
+}
+
+std::size_t Tensor::flat_index(std::size_t i0, std::size_t i1, std::size_t i2,
+                               std::size_t i3, std::size_t rank) const {
+  RERAMDL_CHECK_EQ(shape_.rank(), rank);
+  std::size_t idx = 0;
+  const std::size_t is[4] = {i0, i1, i2, i3};
+  for (std::size_t a = 0; a < rank; ++a) {
+    RERAMDL_CHECK_LT(is[a], shape_.dim(a));
+    idx = idx * shape_.dim(a) + is[a];
+  }
+  return idx;
+}
+
+float& Tensor::at(std::size_t i0) { return data_[flat_index(i0, 0, 0, 0, 1)]; }
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  return data_[flat_index(i0, i1, 0, 0, 2)];
+}
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  return data_[flat_index(i0, i1, i2, 0, 3)];
+}
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+  return data_[flat_index(i0, i1, i2, i3, 4)];
+}
+float Tensor::at(std::size_t i0) const { return data_[flat_index(i0, 0, 0, 0, 1)]; }
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return data_[flat_index(i0, i1, 0, 0, 2)];
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return data_[flat_index(i0, i1, i2, 0, 3)];
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const {
+  return data_[flat_index(i0, i1, i2, i3, 4)];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  RERAMDL_CHECK_EQ(new_shape.numel(), numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  RERAMDL_CHECK_EQ(numel(), other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  RERAMDL_CHECK_EQ(numel(), other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_)
+    x = static_cast<float>(rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_)
+    x = static_cast<float>(rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
+  return t;
+}
+
+Tensor Tensor::he_normal(Shape shape, Rng& rng, std::size_t fan_in) {
+  RERAMDL_CHECK_GT(fan_in, 0u);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return normal(std::move(shape), rng, 0.0f, static_cast<float>(stddev));
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x);
+  return static_cast<float>(acc);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace reramdl

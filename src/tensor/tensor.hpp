@@ -1,0 +1,72 @@
+// Dense row-major float tensor. This is the numeric substrate the NN library
+// and the functional crossbar simulation both operate on.
+//
+// Layout convention for image batches is NCHW: [batch, channels, height,
+// width]; fully-connected activations are [batch, features]; conv kernels are
+// [out_channels, in_channels, kh, kw].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace reramdl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  // Multi-dimensional accessors (bounds-checked).
+  float& at(std::size_t i0);
+  float& at(std::size_t i0, std::size_t i1);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  float at(std::size_t i0) const;
+  float at(std::size_t i0, std::size_t i1) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  // Reinterpret with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  // Elementwise in-place updates.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  // Initializers.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  static Tensor normal(Shape shape, Rng& rng, float mean, float stddev);
+  // He/Kaiming-normal initialization for a layer with the given fan-in.
+  static Tensor he_normal(Shape shape, Rng& rng, std::size_t fan_in);
+
+  float sum() const;
+  float abs_max() const;
+
+ private:
+  std::size_t flat_index(std::size_t i0, std::size_t i1, std::size_t i2,
+                         std::size_t i3, std::size_t rank) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace reramdl

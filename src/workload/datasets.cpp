@@ -1,0 +1,115 @@
+#include "workload/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace reramdl::workload {
+
+Dataset make_classification(std::size_t n, const DatasetConfig& config,
+                            Rng& rng) {
+  RERAMDL_CHECK_GT(n, 0u);
+  RERAMDL_CHECK_GT(config.num_classes, 0u);
+  const std::size_t pix = config.channels * config.height * config.width;
+
+  // Fixed per-class templates with smooth large-scale structure: a few
+  // Gaussian bumps whose parameters are class-specific. Templates depend
+  // only on the dataset shape (not on `rng`), so a training set and a test
+  // set of the same configuration share the same class distribution.
+  Rng template_rng(0x7e4a11ceULL ^ (config.channels << 24) ^
+                   (config.height << 12) ^ config.width ^
+                   (config.num_classes << 40));
+  std::vector<std::vector<float>> templates(config.num_classes,
+                                            std::vector<float>(pix, 0.0f));
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    for (int bump = 0; bump < 3; ++bump) {
+      const double cy = template_rng.uniform(0.15, 0.85) * config.height;
+      const double cx = template_rng.uniform(0.15, 0.85) * config.width;
+      const double s =
+          template_rng.uniform(0.08, 0.22) *
+          static_cast<double>(std::min(config.height, config.width));
+      const double amp = template_rng.uniform(0.5, 1.0);
+      for (std::size_t c = 0; c < config.channels; ++c)
+        for (std::size_t y = 0; y < config.height; ++y)
+          for (std::size_t x = 0; x < config.width; ++x) {
+            const double d2 = (static_cast<double>(y) - cy) * (static_cast<double>(y) - cy) +
+                              (static_cast<double>(x) - cx) * (static_cast<double>(x) - cx);
+            templates[k][(c * config.height + y) * config.width + x] +=
+                static_cast<float>(amp * std::exp(-d2 / (2.0 * s * s)));
+          }
+    }
+  }
+
+  Dataset d;
+  d.num_classes = config.num_classes;
+  d.images = Tensor(Shape{n, config.channels, config.height, config.width});
+  d.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = rng.uniform_index(config.num_classes);
+    d.labels[i] = k;
+    for (std::size_t p = 0; p < pix; ++p) {
+      const float v = templates[k][p] +
+                      static_cast<float>(rng.normal(0.0, config.noise));
+      d.images[i * pix + p] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  return d;
+}
+
+Dataset make_mnist_like(std::size_t n, Rng& rng) {
+  DatasetConfig c;
+  c.channels = 1;
+  c.height = c.width = 28;
+  c.num_classes = 10;
+  return make_classification(n, c, rng);
+}
+
+Dataset make_cifar_like(std::size_t n, Rng& rng) {
+  DatasetConfig c;
+  c.channels = 3;
+  c.height = c.width = 32;
+  c.num_classes = 10;
+  return make_classification(n, c, rng);
+}
+
+Tensor make_gan_images(std::size_t n, std::size_t channels, std::size_t size,
+                       Rng& rng) {
+  RERAMDL_CHECK_GT(n, 0u);
+  Tensor images(Shape{n, channels, size, size});
+  const std::size_t pix = channels * size * size;
+  for (std::size_t i = 0; i < n; ++i) {
+    // 2-4 smooth blobs per image, channel-correlated, mapped to [-1, 1].
+    const int blobs = 2 + static_cast<int>(rng.uniform_index(3));
+    std::vector<float> img(pix, -1.0f);
+    for (int b = 0; b < blobs; ++b) {
+      const double cy = rng.uniform(0.1, 0.9) * static_cast<double>(size);
+      const double cx = rng.uniform(0.1, 0.9) * static_cast<double>(size);
+      const double s = rng.uniform(0.08, 0.25) * static_cast<double>(size);
+      for (std::size_t c = 0; c < channels; ++c) {
+        const double amp = rng.uniform(0.6, 2.0);
+        for (std::size_t y = 0; y < size; ++y)
+          for (std::size_t x = 0; x < size; ++x) {
+            const double d2 =
+                (static_cast<double>(y) - cy) * (static_cast<double>(y) - cy) +
+                (static_cast<double>(x) - cx) * (static_cast<double>(x) - cx);
+            img[(c * size + y) * size + x] +=
+                static_cast<float>(amp * std::exp(-d2 / (2.0 * s * s)));
+          }
+      }
+    }
+    for (std::size_t p = 0; p < pix; ++p)
+      images[i * pix + p] = std::clamp(img[p], -1.0f, 1.0f);
+  }
+  return images;
+}
+
+Tensor make_celeba_like(std::size_t n, Rng& rng) {
+  return make_gan_images(n, 3, 64, rng);
+}
+
+Tensor make_lsun_like(std::size_t n, Rng& rng) {
+  return make_gan_images(n, 3, 64, rng);
+}
+
+}  // namespace reramdl::workload

@@ -1,0 +1,50 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on MNIST, ImageNet, CIFAR-10, CelebA and LSUN. Those
+// corpora are not redistributable here, so these generators produce
+// deterministic synthetic data with the same tensor shapes and - for the
+// classification sets - a learnable class structure (each class is a fixed
+// random template plus noise), which is what the functional training and
+// accuracy experiments need. The timing/energy results depend only on the
+// layer shapes, which the model zoo reproduces exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace reramdl::workload {
+
+struct Dataset {
+  Tensor images;                    // [N, C, H, W]
+  std::vector<std::size_t> labels;  // class per sample
+  std::size_t num_classes = 0;
+};
+
+struct DatasetConfig {
+  std::size_t channels = 1;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::size_t num_classes = 10;
+  // Per-pixel noise added to the class template (templates are unit-range).
+  float noise = 0.35f;
+};
+
+// Generic class-template dataset; all values in [0, 1].
+Dataset make_classification(std::size_t n, const DatasetConfig& config, Rng& rng);
+
+// Named shapes matching the paper's benchmarks.
+Dataset make_mnist_like(std::size_t n, Rng& rng);   // 1 x 28 x 28, 10 classes
+Dataset make_cifar_like(std::size_t n, Rng& rng);   // 3 x 32 x 32, 10 classes
+
+// Unlabeled image sets for GAN training; values in [-1, 1] (tanh output
+// range). Images are smooth multi-blob compositions so the discriminator has
+// non-trivial structure to detect.
+Tensor make_celeba_like(std::size_t n, Rng& rng);   // 3 x 64 x 64
+Tensor make_lsun_like(std::size_t n, Rng& rng);     // 3 x 64 x 64
+Tensor make_gan_images(std::size_t n, std::size_t channels, std::size_t size,
+                       Rng& rng);
+
+}  // namespace reramdl::workload

@@ -1,0 +1,206 @@
+#include "workload/model_zoo.hpp"
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "nn/transposed_conv2d.hpp"
+
+namespace reramdl::workload {
+
+using nn::NetworkSpec;
+using nn::NetworkSpecBuilder;
+
+namespace {
+
+NetworkSpec mlp_spec(std::string name, std::initializer_list<std::size_t> widths) {
+  NetworkSpecBuilder b(std::move(name), 1, 28, 28);
+  b.flatten();
+  for (const std::size_t w : widths) {
+    b.dense(w);
+    b.activation("relu");
+  }
+  b.dense(10);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+NetworkSpec spec_mlp_mnist_a() { return mlp_spec("mlp-mnist-a", {512, 512}); }
+
+NetworkSpec spec_mlp_mnist_b() {
+  return mlp_spec("mlp-mnist-b", {1024, 512, 256});
+}
+
+NetworkSpec spec_mlp_mnist_c() {
+  return mlp_spec("mlp-mnist-c", {1500, 1000, 500});
+}
+
+NetworkSpec spec_lenet5() {
+  NetworkSpecBuilder b("lenet-5", 1, 28, 28);
+  b.conv(6, 5, 1, 2).activation().pool(2);
+  b.conv(16, 5).activation().pool(2);
+  b.flatten().dense(120).activation().dense(84).activation().dense(10);
+  return std::move(b).build();
+}
+
+NetworkSpec spec_alexnet() {
+  NetworkSpecBuilder b("alexnet", 3, 224, 224);
+  b.conv(96, 11, 4, 2).activation().pool(3, 2);
+  b.conv(256, 5, 1, 2).activation().pool(3, 2);
+  b.conv(384, 3, 1, 1).activation();
+  b.conv(384, 3, 1, 1).activation();
+  b.conv(256, 3, 1, 1).activation().pool(3, 2);
+  b.flatten().dense(4096).activation().dense(4096).activation().dense(1000);
+  return std::move(b).build();
+}
+
+NetworkSpec spec_vgg_a() {
+  NetworkSpecBuilder b("vgg-a", 3, 224, 224);
+  b.conv(64, 3, 1, 1).activation().pool(2);
+  b.conv(128, 3, 1, 1).activation().pool(2);
+  b.conv(256, 3, 1, 1).activation();
+  b.conv(256, 3, 1, 1).activation().pool(2);
+  b.conv(512, 3, 1, 1).activation();
+  b.conv(512, 3, 1, 1).activation().pool(2);
+  b.conv(512, 3, 1, 1).activation();
+  b.conv(512, 3, 1, 1).activation().pool(2);
+  b.flatten().dense(4096).activation().dense(4096).activation().dense(1000);
+  return std::move(b).build();
+}
+
+NetworkSpec spec_vgg_d() {
+  NetworkSpecBuilder b("vgg-d", 3, 224, 224);
+  auto block = [&b](std::size_t ch, int convs) {
+    for (int i = 0; i < convs; ++i) b.conv(ch, 3, 1, 1).activation();
+    b.pool(2);
+  };
+  block(64, 2);
+  block(128, 2);
+  block(256, 3);
+  block(512, 3);
+  block(512, 3);
+  b.flatten().dense(4096).activation().dense(4096).activation().dense(1000);
+  return std::move(b).build();
+}
+
+NetworkSpec spec_dcgan_generator(std::size_t image_size) {
+  const std::size_t latent = 100;
+  switch (image_size) {
+    case 28: {  // MNIST, 1 channel
+      NetworkSpecBuilder b("dcgan-g28", latent, 1, 1);
+      b.dense(256 * 7 * 7).reshape(256, 7, 7).batchnorm().activation();
+      b.tconv(128, 4, 2, 1).batchnorm().activation();
+      b.tconv(1, 4, 2, 1).activation("tanh");
+      return std::move(b).build();
+    }
+    case 32: {  // CIFAR-10, 3 channels
+      NetworkSpecBuilder b("dcgan-g32", latent, 1, 1);
+      b.dense(512 * 4 * 4).reshape(512, 4, 4).batchnorm().activation();
+      b.tconv(256, 4, 2, 1).batchnorm().activation();
+      b.tconv(128, 4, 2, 1).batchnorm().activation();
+      b.tconv(3, 4, 2, 1).activation("tanh");
+      return std::move(b).build();
+    }
+    case 64: {  // CelebA / LSUN, 3 channels
+      NetworkSpecBuilder b("dcgan-g64", latent, 1, 1);
+      b.dense(1024 * 4 * 4).reshape(1024, 4, 4).batchnorm().activation();
+      b.tconv(512, 4, 2, 1).batchnorm().activation();
+      b.tconv(256, 4, 2, 1).batchnorm().activation();
+      b.tconv(128, 4, 2, 1).batchnorm().activation();
+      b.tconv(3, 4, 2, 1).activation("tanh");
+      return std::move(b).build();
+    }
+    default:
+      RERAMDL_CHECK(false);
+  }
+  return {};
+}
+
+NetworkSpec spec_dcgan_discriminator(std::size_t image_size) {
+  switch (image_size) {
+    case 28: {
+      NetworkSpecBuilder b("dcgan-d28", 1, 28, 28);
+      b.conv(64, 4, 2, 1).activation("lrelu");
+      b.conv(128, 4, 2, 1).batchnorm().activation("lrelu");
+      b.flatten().dense(1);
+      return std::move(b).build();
+    }
+    case 32: {
+      NetworkSpecBuilder b("dcgan-d32", 3, 32, 32);
+      b.conv(128, 4, 2, 1).activation("lrelu");
+      b.conv(256, 4, 2, 1).batchnorm().activation("lrelu");
+      b.conv(512, 4, 2, 1).batchnorm().activation("lrelu");
+      b.flatten().dense(1);
+      return std::move(b).build();
+    }
+    case 64: {
+      NetworkSpecBuilder b("dcgan-d64", 3, 64, 64);
+      b.conv(128, 4, 2, 1).activation("lrelu");
+      b.conv(256, 4, 2, 1).batchnorm().activation("lrelu");
+      b.conv(512, 4, 2, 1).batchnorm().activation("lrelu");
+      b.conv(1024, 4, 2, 1).batchnorm().activation("lrelu");
+      b.flatten().dense(1);
+      return std::move(b).build();
+    }
+    default:
+      RERAMDL_CHECK(false);
+  }
+  return {};
+}
+
+// ---- Functional networks ----------------------------------------------------
+
+nn::Sequential make_mlp_mnist(Rng& rng) {
+  nn::Sequential net;
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(784, 256, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(256, 10, rng);
+  return net;
+}
+
+nn::Sequential make_lenet_small(Rng& rng) {
+  nn::Sequential net;
+  net.emplace<nn::Conv2D>(1, 28, 28, 8, 5, 1, 2, rng);  // -> 8x28x28
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2D>(2);                        // -> 8x14x14
+  net.emplace<nn::Conv2D>(8, 14, 14, 16, 5, 1, 0, rng); // -> 16x10x10
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2D>(2);                        // -> 16x5x5
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(16 * 5 * 5, 64, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(64, 10, rng);
+  return net;
+}
+
+nn::Sequential make_dcgan_g_mnist(Rng& rng, std::size_t latent_dim) {
+  nn::Sequential net;
+  net.emplace<nn::Dense>(latent_dim, 64 * 7 * 7, rng);
+  net.emplace<nn::Reshape>(64, 7, 7);
+  net.emplace<nn::BatchNorm>(64);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::TransposedConv2D>(64, 7, 7, 32, 4, 2, 1, rng);   // -> 32x14x14
+  net.emplace<nn::BatchNorm>(32);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::TransposedConv2D>(32, 14, 14, 1, 4, 2, 1, rng);  // -> 1x28x28
+  net.emplace<nn::Tanh>();
+  return net;
+}
+
+nn::Sequential make_dcgan_d_mnist(Rng& rng) {
+  nn::Sequential net;
+  net.emplace<nn::Conv2D>(1, 28, 28, 32, 4, 2, 1, rng);   // -> 32x14x14
+  net.emplace<nn::LeakyReLU>(0.2f);
+  net.emplace<nn::Conv2D>(32, 14, 14, 64, 4, 2, 1, rng);  // -> 64x7x7
+  net.emplace<nn::LeakyReLU>(0.2f);
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(64 * 7 * 7, 1, rng);
+  return net;
+}
+
+}  // namespace reramdl::workload

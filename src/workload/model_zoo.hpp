@@ -1,0 +1,45 @@
+// Model zoo.
+//
+// Spec builders reproduce the layer shapes of the paper's benchmark networks
+// (PipeLayer: MNIST MLPs + ImageNet-scale CNNs; ReGAN: DCGAN variants for
+// MNIST / CIFAR-10 / CelebA / LSUN) for the timing and energy models.
+// Functional builders construct small live networks (with weights) for the
+// training / crossbar-accuracy experiments.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer_spec.hpp"
+#include "nn/sequential.hpp"
+
+namespace reramdl::workload {
+
+// ---- Spec-only networks (timing / mapping / energy) ------------------------
+
+// PipeLayer's MNIST multilayer perceptrons.
+nn::NetworkSpec spec_mlp_mnist_a();  // 784-512-512-10
+nn::NetworkSpec spec_mlp_mnist_b();  // 784-1024-512-256-10
+nn::NetworkSpec spec_mlp_mnist_c();  // 784-1500-1000-500-10
+nn::NetworkSpec spec_lenet5();       // LeNet-5 on 1x28x28
+
+// ImageNet-scale CNNs (3x224x224).
+nn::NetworkSpec spec_alexnet();
+nn::NetworkSpec spec_vgg_a();   // VGG-11
+nn::NetworkSpec spec_vgg_d();   // VGG-16
+
+// DCGAN generator / discriminator shapes. `image_size` in {28 (MNIST, 1ch),
+// 32 (CIFAR, 3ch), 64 (CelebA / LSUN, 3ch)}; latent vector 100.
+nn::NetworkSpec spec_dcgan_generator(std::size_t image_size);
+nn::NetworkSpec spec_dcgan_discriminator(std::size_t image_size);
+
+// ---- Functional networks (weights; small enough to train on a laptop) -----
+
+// 784-256-10 MLP for synthetic-MNIST training tests.
+nn::Sequential make_mlp_mnist(Rng& rng);
+// Small LeNet-style CNN (1x28x28): conv-pool-conv-pool-fc.
+nn::Sequential make_lenet_small(Rng& rng);
+// DCGAN on 1x28x28 with the given latent size; generator ends in tanh,
+// discriminator outputs one logit.
+nn::Sequential make_dcgan_g_mnist(Rng& rng, std::size_t latent_dim);
+nn::Sequential make_dcgan_d_mnist(Rng& rng);
+
+}  // namespace reramdl::workload

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "circuit/adc.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace reramdl::circuit {
+namespace {
+
+TEST(SarAdc, FullScaleMapsToMaxCode) {
+  SarAdc adc(AdcParams{});
+  EXPECT_EQ(adc.convert(1.0, 1.0), adc.max_code());
+  EXPECT_EQ(adc.convert(0.0, 1.0), 0u);
+}
+
+TEST(SarAdc, CodesMonotoneInInput) {
+  SarAdc adc(AdcParams{});
+  std::uint32_t prev = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const std::uint32_t code = adc.convert(i / 100.0, 1.0);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(SarAdc, ReconstructionWithinHalfLsb) {
+  AdcParams p;
+  p.bits = 8;
+  SarAdc adc(p);
+  Rng rng(1);
+  const double lsb = 1.0 / 255.0;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform();
+    const double back = adc.reconstruct(adc.convert(v, 1.0), 1.0);
+    EXPECT_NEAR(back, v, lsb / 2 + 1e-12);
+  }
+}
+
+TEST(SarAdc, OutOfRangeInputsClamp) {
+  SarAdc adc(AdcParams{});
+  EXPECT_EQ(adc.convert(5.0, 1.0), adc.max_code());
+  EXPECT_EQ(adc.convert(-5.0, 1.0), 0u);
+}
+
+TEST(SarAdc, EnergyScalesWithConversions) {
+  AdcParams p;
+  SarAdc adc(p);
+  for (int i = 0; i < 10; ++i) adc.convert(0.5, 1.0);
+  EXPECT_EQ(adc.conversions(), 10u);
+  EXPECT_DOUBLE_EQ(adc.energy_pj(), 10.0 * p.energy_per_conversion_pj);
+}
+
+TEST(SarAdc, InvalidConfigThrows) {
+  AdcParams p;
+  p.bits = 0;
+  EXPECT_THROW(SarAdc{p}, CheckError);
+}
+
+class SchemeComparison : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SchemeComparison, BothSchemesHavePositiveCosts) {
+  const std::size_t bits = GetParam();
+  const device::CellParams cell;
+  const auto spike = spike_scheme_costs(128, 128, bits, cell);
+  const auto adc = adc_scheme_costs(128, 128, bits, AdcParams{}, DacParams{});
+  EXPECT_GT(spike.energy_pj, 0.0);
+  EXPECT_GT(spike.latency_ns, 0.0);
+  EXPECT_GT(spike.area_mm2, 0.0);
+  EXPECT_GT(adc.energy_pj, 0.0);
+  EXPECT_GT(adc.latency_ns, 0.0);
+  EXPECT_GT(adc.area_mm2, 0.0);
+}
+
+TEST_P(SchemeComparison, SpikeSchemeSavesAreaAndEnergy) {
+  // The paper's rationale for the weighted spike coding: "to further reduce
+  // the area and energy overhead" of ADC-based readout.
+  const std::size_t bits = GetParam();
+  const device::CellParams cell;
+  const auto spike = spike_scheme_costs(128, 128, bits, cell);
+  const auto adc = adc_scheme_costs(128, 128, bits, AdcParams{}, DacParams{});
+  EXPECT_LT(spike.area_mm2, adc.area_mm2);
+  EXPECT_LT(spike.energy_pj, adc.energy_pj);
+}
+
+INSTANTIATE_TEST_SUITE_P(InputBits, SchemeComparison,
+                         ::testing::Values(4, 8, 16));
+
+TEST(SchemeComparison, SpikeLatencyGrowsLinearlyInBits) {
+  const device::CellParams cell;
+  const auto b4 = spike_scheme_costs(128, 128, 4, cell);
+  const auto b16 = spike_scheme_costs(128, 128, 16, cell);
+  EXPECT_NEAR(b16.latency_ns / b4.latency_ns, 4.0, 1e-9);
+}
+
+TEST(SchemeComparison, AdcSharingReducesArea) {
+  const auto shared = adc_scheme_costs(128, 128, 8, AdcParams{}, DacParams{}, 16);
+  const auto dedicated = adc_scheme_costs(128, 128, 8, AdcParams{}, DacParams{}, 1);
+  EXPECT_LT(shared.area_mm2, dedicated.area_mm2);
+  // ...but time-multiplexing raises conversion latency.
+  EXPECT_GT(shared.latency_ns, dedicated.latency_ns);
+}
+
+}  // namespace
+}  // namespace reramdl::circuit

@@ -1,0 +1,145 @@
+// Tests for the analysis extensions: utilization metrics, the unpipelined
+// ReGAN report, per-layer cost rows, and a whole-network gradient check that
+// exercises every layer kind end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipelayer.hpp"
+#include "core/regan.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "pipeline/analytic.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl {
+namespace {
+
+TEST(Utilization, PipelinedApproachesOneForLargeBatches) {
+  EXPECT_GT(pipeline::pipelayer_training_utilization(16384, 4, 4096), 0.99);
+}
+
+TEST(Utilization, PipelinedBeatsSequential) {
+  for (std::uint64_t l : {2u, 8u, 16u})
+    for (std::uint64_t b : {8u, 64u})
+      EXPECT_GT(pipeline::pipelayer_training_utilization(b * 8, l, b),
+                pipeline::pipelayer_sequential_utilization(b * 8, l, b));
+}
+
+TEST(Utilization, SequentialIsRoughlyOneOverDepth) {
+  // Sequential execution keeps one stage busy at a time.
+  const double u = pipeline::pipelayer_sequential_utilization(6400, 8, 64);
+  EXPECT_NEAR(u, 1.0 / (2.0 * 8 + 1), 0.01);
+}
+
+TEST(Utilization, BoundedByOne) {
+  for (std::uint64_t l : {1u, 5u})
+    for (std::uint64_t b : {1u, 16u, 256u}) {
+      const double u = pipeline::pipelayer_training_utilization(b * 4, l, b);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(ReGanUnpipelined, SlowerThanAnyPipelinedVariant) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  const core::ReGanAccelerator accel(workload::spec_dcgan_generator(32),
+                                     workload::spec_dcgan_discriminator(32),
+                                     cfg);
+  const auto unpiped = accel.training_report_unpipelined(640, 64);
+  for (const bool sp : {false, true})
+    for (const bool cs : {false, true})
+      EXPECT_GT(unpiped.time_s,
+                accel.training_report(640, 64, {sp, cs}).time_s);
+}
+
+TEST(ReGanUnpipelined, MatchesClosedForm) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  const core::ReGanAccelerator accel(workload::spec_dcgan_generator(32),
+                                     workload::spec_dcgan_discriminator(32),
+                                     cfg);
+  const auto r = accel.training_report_unpipelined(640, 64);
+  const pipeline::GanShape s{accel.l_d(), accel.l_g(), 64};
+  EXPECT_EQ(r.pipeline_cycles,
+            10u * pipeline::regan_batch_cycles_unpipelined(s));
+}
+
+TEST(LayerCosts, RowsCoverAllWeightedLayers) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::PipeLayerAccelerator accel(workload::spec_alexnet(), cfg);
+  const auto rows = accel.layer_costs();
+  EXPECT_EQ(rows.size(), accel.pipeline_depth());
+  std::size_t arrays = 0;
+  for (const auto& r : rows) {
+    EXPECT_GT(r.arrays, 0u);
+    EXPECT_GT(r.activations_per_sample, 0.0);
+    EXPECT_GT(r.compute_uj_per_sample, 0.0);
+    arrays += r.arrays;
+  }
+  EXPECT_EQ(arrays, accel.network_mapping().total_arrays());
+}
+
+TEST(LayerCosts, StageStepsIsMaxOverLayers) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  const core::PipeLayerAccelerator accel(workload::spec_vgg_a(), cfg);
+  std::size_t worst = 0;
+  for (const auto& r : accel.layer_costs())
+    worst = std::max(worst, r.steps_per_sample);
+  EXPECT_EQ(worst, accel.training_report(64, 64).stage_steps);
+}
+
+// ---- Whole-network gradient check -------------------------------------------
+
+TEST(FullNetworkGradient, ConvPoolBnDenseChain) {
+  Rng rng(777);
+  nn::Sequential net;
+  net.emplace<nn::Conv2D>(1, 8, 8, 3, 3, 1, 1, rng);
+  net.emplace<nn::BatchNorm>(3);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2D>(2);
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(3 * 4 * 4, 5, rng);
+
+  Tensor x = Tensor::normal(Shape{4, 1, 8, 8}, rng, 0.0f, 1.0f);
+  const std::vector<std::size_t> labels{0, 2, 4, 1};
+
+  auto loss_of = [&](const Tensor& input) {
+    // Fresh forward in train mode so batch-norm statistics are recomputed
+    // consistently for the perturbed input.
+    const Tensor logits = net.forward(input, true);
+    return static_cast<double>(nn::softmax_cross_entropy(logits, labels).loss);
+  };
+
+  for (auto p : net.params()) p.grad->zero();
+  const Tensor logits = net.forward(x, true);
+  const auto lr = nn::softmax_cross_entropy(logits, labels);
+  const Tensor gx = net.backward(lr.grad);
+
+  const float eps = 1e-2f;
+  const std::size_t step = std::max<std::size_t>(1, x.numel() / 20);
+  for (std::size_t i = 0; i < x.numel(); i += step) {
+    if (std::abs(x[i]) < 3e-2f) continue;  // ReLU/pool kink guard
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double lp = loss_of(x);
+    x[i] = orig - eps;
+    const double lm = loss_of(x);
+    x[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], numeric, 5e-2 * std::max(1.0, std::abs(numeric)))
+        << "coordinate " << i;
+  }
+}
+
+}  // namespace
+}  // namespace reramdl

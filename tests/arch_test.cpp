@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "arch/bank.hpp"
+#include "arch/controller.hpp"
+#include "arch/isa.hpp"
+#include "arch/params.hpp"
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+TEST(EnergyMeter, AccumulatesByComponent) {
+  EnergyMeter m;
+  m.add("compute", 10.0);
+  m.add("compute", 5.0);
+  m.add("buffer", 1.0);
+  EXPECT_DOUBLE_EQ(m.component_pj("compute"), 15.0);
+  EXPECT_DOUBLE_EQ(m.component_pj("buffer"), 1.0);
+  EXPECT_DOUBLE_EQ(m.component_pj("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_pj(), 16.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_pj(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeEnergy) {
+  EnergyMeter m;
+  EXPECT_THROW(m.add("x", -1.0), CheckError);
+}
+
+TEST(ChipConfig, TotalComputeArrays) {
+  ChipConfig c;
+  c.banks = 4;
+  c.morphable_subarrays_per_bank = 8;
+  c.arrays_per_subarray = 2;
+  EXPECT_EQ(c.total_compute_arrays(), 64u);
+}
+
+TEST(ChipConfig, NamedConfigsAreConsistent) {
+  const ChipConfig p = pipelayer_chip();
+  EXPECT_EQ(p.total_compute_arrays(), 16384u);
+  const ChipConfig r = regan_chip();
+  EXPECT_EQ(r.total_compute_arrays(), 8192u);
+  // ReGAN doubles the buffer share for computation sharing.
+  EXPECT_GT(r.buffer_subarrays_per_bank, p.buffer_subarrays_per_bank);
+}
+
+class IsaRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(IsaRoundTrip, EncodeDecodeIdentity) {
+  Instruction inst;
+  inst.op = GetParam();
+  inst.bank = 37;
+  inst.subarray = 21;
+  inst.imm = 0xBEEF;
+  const Instruction back = decode(encode(inst));
+  EXPECT_EQ(back.op, inst.op);
+  EXPECT_EQ(back.bank, inst.bank);
+  EXPECT_EQ(back.subarray, inst.subarray);
+  EXPECT_EQ(back.imm, inst.imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaRoundTrip,
+                         ::testing::Values(Opcode::kNop, Opcode::kCfgMode,
+                                           Opcode::kLoad, Opcode::kStore,
+                                           Opcode::kCompute, Opcode::kUpdate,
+                                           Opcode::kMove, Opcode::kSync));
+
+TEST(Isa, FieldRangeChecked) {
+  Instruction inst;
+  inst.bank = 64;  // 6-bit field
+  EXPECT_THROW(encode(inst), CheckError);
+}
+
+TEST(Isa, DisassemblyNamesOpcode) {
+  Instruction inst;
+  inst.op = Opcode::kCompute;
+  inst.bank = 1;
+  inst.subarray = 2;
+  inst.imm = 8;
+  EXPECT_EQ(inst.to_string(), "COMPUTE b1 s2 #8");
+}
+
+TEST(Subarray, MorphableStartsInMemoryMode) {
+  ChipConfig chip;
+  Subarray s(SubarrayKind::kMorphable, &chip);
+  EXPECT_EQ(s.mode(), SubarrayMode::kMemory);
+}
+
+TEST(Subarray, ComputeRequiresComputeMode) {
+  ChipConfig chip;
+  Subarray s(SubarrayKind::kMorphable, &chip);
+  EnergyMeter m;
+  EXPECT_THROW(s.compute(1, m), CheckError);
+  s.morph(SubarrayMode::kCompute, m);
+  EXPECT_GT(s.compute(1, m), 0.0);
+  EXPECT_EQ(s.compute_ops(), 1u);
+}
+
+TEST(Subarray, MemorySubarrayCannotMorph) {
+  ChipConfig chip;
+  Subarray s(SubarrayKind::kMemory, &chip);
+  EnergyMeter m;
+  EXPECT_THROW(s.morph(SubarrayMode::kCompute, m), CheckError);
+}
+
+TEST(Subarray, ComputeBookEnergyPerArray) {
+  ChipConfig chip;
+  Subarray s(SubarrayKind::kMorphable, &chip);
+  EnergyMeter m;
+  s.morph(SubarrayMode::kCompute, m);
+  m.reset();
+  s.compute(4, m);
+  EXPECT_DOUBLE_EQ(m.component_pj("compute"),
+                   4.0 * chip.costs.array_compute_energy_pj);
+}
+
+TEST(Subarray, ComputeBeyondSubarrayArraysThrows) {
+  ChipConfig chip;
+  Subarray s(SubarrayKind::kMorphable, &chip);
+  EnergyMeter m;
+  s.morph(SubarrayMode::kCompute, m);
+  EXPECT_THROW(s.compute(chip.arrays_per_subarray + 1, m), CheckError);
+}
+
+TEST(Subarray, BufferAccessIsCheaperPerByteThanMemory) {
+  ChipConfig chip;
+  Subarray mem(SubarrayKind::kMemory, &chip);
+  Subarray buf(SubarrayKind::kBuffer, &chip);
+  EnergyMeter m1, m2;
+  mem.access(128, m1);
+  buf.access(128, m2);
+  EXPECT_GT(m1.total_pj(), m2.total_pj());
+  EXPECT_EQ(mem.bytes_accessed(), 128u);
+}
+
+TEST(Bank, ConstructsRegionSplit) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 3);
+  EXPECT_EQ(bank.id(), 3u);
+  EXPECT_EQ(bank.num_morphable(), chip.morphable_subarrays_per_bank);
+  EXPECT_EQ(bank.num_memory(), chip.memory_subarrays_per_bank);
+  EXPECT_EQ(bank.num_buffer(), chip.buffer_subarrays_per_bank);
+}
+
+TEST(Bank, AllocateComputeMorphsPrefix) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  EnergyMeter m;
+  const std::size_t arrays = bank.allocate_compute(4, m);
+  EXPECT_EQ(arrays, 4 * chip.arrays_per_subarray);
+  EXPECT_EQ(bank.compute_subarrays(), 4u);
+  EXPECT_EQ(bank.morphable(0).mode(), SubarrayMode::kCompute);
+  EXPECT_EQ(bank.morphable(3).mode(), SubarrayMode::kCompute);
+  EXPECT_EQ(bank.morphable(4).mode(), SubarrayMode::kMemory);
+}
+
+TEST(Bank, ReallocationShrinksComputeRegion) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  EnergyMeter m;
+  bank.allocate_compute(8, m);
+  bank.allocate_compute(2, m);
+  EXPECT_EQ(bank.morphable(1).mode(), SubarrayMode::kCompute);
+  EXPECT_EQ(bank.morphable(2).mode(), SubarrayMode::kMemory);
+}
+
+TEST(Controller, ExecutesProgramAndBooksCosts) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+
+  std::vector<std::uint32_t> program;
+  Instruction cfg;
+  cfg.op = Opcode::kCfgMode;
+  cfg.bank = 0;
+  cfg.subarray = 0;
+  cfg.imm = 1;  // compute mode
+  program.push_back(encode(cfg));
+  Instruction load;
+  load.op = Opcode::kLoad;
+  load.bank = 0;
+  load.subarray = 0;
+  load.imm = 256;
+  program.push_back(encode(load));
+  Instruction comp;
+  comp.op = Opcode::kCompute;
+  comp.bank = 0;
+  comp.subarray = 0;
+  comp.imm = 2;
+  program.push_back(encode(comp));
+  Instruction sync;
+  sync.op = Opcode::kSync;
+  program.push_back(encode(sync));
+
+  const ExecutionReport r = ctrl.run(program);
+  EXPECT_EQ(r.instructions, 4u);
+  EXPECT_EQ(r.sync_points, 1u);
+  EXPECT_GT(r.busy_ns, 0.0);
+  EXPECT_GT(r.energy.component_pj("compute"), 0.0);
+  EXPECT_GT(r.energy.component_pj("memory"), 0.0);
+}
+
+TEST(Controller, ComputeOnMemoryModeSubarrayFaults) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  Instruction comp;
+  comp.op = Opcode::kCompute;
+  comp.bank = 0;
+  comp.subarray = 0;
+  comp.imm = 1;
+  EXPECT_THROW(ctrl.run({encode(comp)}), CheckError);
+}
+
+TEST(Controller, WrongBankRejected) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  Instruction nop;
+  nop.op = Opcode::kNop;
+  nop.bank = 5;
+  EXPECT_THROW(ctrl.run({encode(nop)}), CheckError);
+}
+
+TEST(Controller, UpdateBooksProgrammingEnergy) {
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  Instruction cfg;
+  cfg.op = Opcode::kCfgMode;
+  cfg.imm = 1;
+  Instruction upd;
+  upd.op = Opcode::kUpdate;
+  upd.imm = 16;  // 16 * 64 cells
+  const ExecutionReport r = ctrl.run({encode(cfg), encode(upd)});
+  const double expected =
+      (chip.cell.program_energy_pj() + chip.costs.update_driver_energy_pj) *
+      16.0 * 64.0;
+  EXPECT_DOUBLE_EQ(r.energy.component_pj("update"), expected);
+}
+
+}  // namespace
+}  // namespace reramdl::arch

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+#include "common/check.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::baseline {
+namespace {
+
+TEST(GpuModel, CostsArePositive) {
+  const GpuModel gpu(gtx1080());
+  const auto net = workload::spec_mlp_mnist_a();
+  const GpuCost c = gpu.inference_cost(net, 64, 64);
+  EXPECT_GT(c.time_s, 0.0);
+  EXPECT_GT(c.energy_j, 0.0);
+}
+
+TEST(GpuModel, TrainingCostsMoreThanInference) {
+  const GpuModel gpu(gtx1080());
+  const auto net = workload::spec_lenet5();
+  EXPECT_GT(gpu.training_cost(net, 64, 64).time_s,
+            gpu.inference_cost(net, 64, 64).time_s);
+}
+
+TEST(GpuModel, EnergyIsPowerTimesTime) {
+  const GpuModel gpu(gtx1080());
+  const auto net = workload::spec_alexnet();
+  const GpuCost c = gpu.training_cost(net, 128, 64);
+  EXPECT_NEAR(c.energy_j, c.time_s * gpu.spec().board_power_w, 1e-9);
+}
+
+TEST(GpuModel, BiggerNetworkTakesLonger) {
+  const GpuModel gpu(gtx1080());
+  const GpuCost a = gpu.training_cost(workload::spec_vgg_a(), 64, 64);
+  const GpuCost d = gpu.training_cost(workload::spec_vgg_d(), 64, 64);
+  EXPECT_GT(d.time_s, a.time_s);
+}
+
+TEST(GpuModel, TimeScalesLinearlyInN) {
+  const GpuModel gpu(gtx1080());
+  const auto net = workload::spec_lenet5();
+  const double t1 = gpu.training_cost(net, 64, 64).time_s;
+  const double t4 = gpu.training_cost(net, 256, 64).time_s;
+  EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+}
+
+TEST(GpuModel, LargerBatchAmortizesWeightTraffic) {
+  const GpuModel gpu(gtx1080());
+  // FC-heavy net: weight loads dominate at batch 1.
+  const auto net = workload::spec_mlp_mnist_c();
+  const double per_sample_b1 = gpu.training_cost(net, 64, 1).time_s / 64.0;
+  const double per_sample_b64 = gpu.training_cost(net, 64, 64).time_s / 64.0;
+  EXPECT_LT(per_sample_b64, per_sample_b1);
+}
+
+TEST(GpuModel, AlexNetTrainingMagnitudeIsPlausible) {
+  // GTX-1080-class AlexNet training throughput was some hundreds of
+  // images/s; the roofline should land within [100, 5000] img/s.
+  const GpuModel gpu(gtx1080());
+  const GpuCost c = gpu.training_cost(workload::spec_alexnet(), 640, 64);
+  const double ips = 640.0 / c.time_s;
+  EXPECT_GT(ips, 100.0);
+  EXPECT_LT(ips, 5000.0);
+}
+
+TEST(GpuModel, TransposedConvLessEfficientThanConv) {
+  const GpuModel gpu(gtx1080());
+  // Equal-MAC layers: tconv should cost more time than conv.
+  nn::LayerSpec conv;
+  conv.kind = nn::LayerKind::kConv;
+  conv.in_c = 64;
+  conv.in_h = conv.in_w = 16;
+  conv.kh = conv.kw = 4;
+  conv.out_c = 64;
+  conv.out_h = conv.out_w = 16;
+  nn::LayerSpec tconv = conv;
+  tconv.kind = nn::LayerKind::kTransposedConv;
+  EXPECT_GT(gpu.layer_forward_time_s(tconv, 64),
+            gpu.layer_forward_time_s(conv, 64));
+}
+
+TEST(GpuModel, GanTrainingCostExceedsDiscriminatorTraining) {
+  const GpuModel gpu(gtx1080());
+  const auto g = workload::spec_dcgan_generator(64);
+  const auto d = workload::spec_dcgan_discriminator(64);
+  const GpuCost gan = gpu.gan_training_cost(g, d, 64, 64);
+  const GpuCost d_only = gpu.training_cost(d, 64, 64);
+  EXPECT_GT(gan.time_s, d_only.time_s);
+}
+
+TEST(GpuModel, NonMultipleBatchThrows) {
+  const GpuModel gpu(gtx1080());
+  const auto net = workload::spec_lenet5();
+  EXPECT_THROW(gpu.inference_cost(net, 65, 64), CheckError);
+}
+
+}  // namespace
+}  // namespace reramdl::baseline

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "arch/chip_sim.hpp"
+#include "common/check.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+struct ChipFixture {
+  ChipConfig chip = pipelayer_chip();
+  mapping::NetworkMapping mapping;
+  MeshNoc noc = make_mesh_for_banks(pipelayer_chip().banks);
+
+  explicit ChipFixture(const nn::NetworkSpec& net, std::size_t budget = 16384)
+      : mapping(mapping::plan_under_budget(net, {128, 128}, budget)) {}
+};
+
+TEST(ChipSim, ForwardPassExecutesAllBanks) {
+  ChipFixture f(workload::spec_vgg_a());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_forward_pass();
+  EXPECT_GT(r.banks_used, 1u);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.critical_bank_ns, 0.0);
+  EXPECT_GT(r.energy.component_pj("compute"), 0.0);
+  EXPECT_GT(r.energy.component_pj("noc"), 0.0);
+}
+
+TEST(ChipSim, CriticalBankBoundedByTotalWork) {
+  ChipFixture f(workload::spec_alexnet());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_forward_pass();
+  EXPECT_LE(r.critical_bank_ns, r.total_bank_ns);
+  EXPECT_GE(r.critical_bank_ns,
+            r.total_bank_ns / static_cast<double>(r.banks_used));
+  EXPECT_DOUBLE_EQ(r.latency_ns(), r.critical_bank_ns + r.noc_ns);
+}
+
+TEST(ChipSim, SingleBankNetworkHasNoNocTime) {
+  ChipFixture f(workload::spec_mlp_mnist_a(), 4096);
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_forward_pass();
+  EXPECT_EQ(r.banks_used, 1u);
+  EXPECT_DOUBLE_EQ(r.noc_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.component_pj("noc"), 0.0);
+}
+
+TEST(ChipSim, TrainingBatchBooksUpdateEnergy) {
+  ChipFixture f(workload::spec_lenet5(), 2048);
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_training_batch(4);
+  EXPECT_GT(r.energy.component_pj("update"), 0.0);
+  // Training runs 3 passes per input: much more work than one forward pass.
+  const ChipRunReport fwd = sim.run_forward_pass();
+  EXPECT_GT(r.total_bank_ns, 3.0 * fwd.total_bank_ns);
+}
+
+TEST(ChipSim, TrainingNocTrafficScalesWithBatch) {
+  ChipFixture f(workload::spec_vgg_a());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport b4 = sim.run_training_batch(4);
+  const ChipRunReport b8 = sim.run_training_batch(8);
+  EXPECT_NEAR(b8.noc_ns / b4.noc_ns, 2.0, 1e-9);
+}
+
+TEST(ChipSim, ScatteredPlacementPaysMoreNoc) {
+  ChipFixture f(workload::spec_vgg_d());
+  ChipSimulator snake(f.chip, f.mapping, place_snake(f.mapping, f.chip, f.noc));
+  ChipSimulator scattered(f.chip, f.mapping,
+                          place_scattered(f.mapping, f.chip, f.noc));
+  const auto rs = snake.run_forward_pass();
+  const auto rr = scattered.run_forward_pass();
+  EXPECT_LT(rs.energy.component_pj("noc"), rr.energy.component_pj("noc"));
+  // Bank work is placement-independent.
+  EXPECT_NEAR(rs.total_bank_ns, rr.total_bank_ns, 1e-6);
+}
+
+TEST(ChipSim, MismatchedPlacementRejected) {
+  ChipFixture f(workload::spec_lenet5());
+  Placement bad;
+  bad.bank = {0};  // wrong arity
+  EXPECT_THROW(ChipSimulator(f.chip, f.mapping, bad), CheckError);
+}
+
+TEST(ChipSim, InstructionCountMatchesLoweringAnalysis) {
+  ChipFixture f(workload::spec_mlp_mnist_b(), 4096);
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_forward_pass();
+  // Everything in one bank: the chip-level instruction count equals the
+  // single-bank lowering's.
+  ASSERT_EQ(r.banks_used, 1u);
+  const auto program = lower_forward_pass(f.mapping, f.chip, p.bank[0]);
+  EXPECT_EQ(r.instructions, program.size());
+}
+
+}  // namespace
+}  // namespace reramdl::arch

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace reramdl {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(RERAMDL_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(RERAMDL_CHECK(false), CheckError);
+}
+
+TEST(Check, ComparisonMacroReportsOperands) {
+  try {
+    RERAMDL_CHECK_EQ(3, 4);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=4"), std::string::npos);
+  }
+}
+
+TEST(Check, OrderedComparisons) {
+  EXPECT_NO_THROW(RERAMDL_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(RERAMDL_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(RERAMDL_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(RERAMDL_CHECK_GE(2, 2));
+  EXPECT_THROW(RERAMDL_CHECK_LT(2, 2), CheckError);
+  EXPECT_THROW(RERAMDL_CHECK_GT(2, 2), CheckError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalHasUnitMean) {
+  Rng rng(17);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.lognormal_unit_mean(0.3));
+  EXPECT_NEAR(s.mean(), 1.0, 0.01);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal_unit_mean(0.5), 0.0);
+}
+
+TEST(Rng, BernoulliRateMatches) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(29);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffledIndicesIsPermutation) {
+  Rng rng(37);
+  const auto idx = shuffled_indices(100, rng);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, EmptyThrows) {
+  RunningStat s;
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.min(), CheckError);
+}
+
+TEST(Stats, GeomeanOfConstantIsConstant) {
+  EXPECT_NEAR(geomean({5.0, 5.0, 5.0}), 5.0, 1e-12);
+}
+
+TEST(Stats, GeomeanKnownValue) {
+  EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  EXPECT_THROW(geomean({1.0, 0.0}), CheckError);
+  EXPECT_THROW(geomean({}), CheckError);
+}
+
+TEST(Stats, RmseAndMaxAbsDiff) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{1.0f, 2.0f, 7.0f};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(16.0 / 3.0), 1e-6);
+  EXPECT_NEAR(max_abs_diff(a, b), 4.0, 1e-6);
+  EXPECT_THROW(rmse(a, {1.0f}), CheckError);
+}
+
+TEST(Table, AlignsColumnsAndSeparators) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"speedup", "42.45x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("42.45x"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_times(42.449, 2), "42.45x");
+}
+
+TEST(Units, PowerFromEnergyAndTime) {
+  // 1000 pJ over 1000 ns = 1 mW.
+  EXPECT_NEAR(units::watts(1000.0, 1000.0), 1e-3, 1e-15);
+}
+
+}  // namespace
+}  // namespace reramdl

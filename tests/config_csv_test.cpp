@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "arch/update_model.hpp"
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "core/config_io.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl {
+namespace {
+
+// ---- CsvWriter -----------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowArityChecked) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), CheckError);
+}
+
+TEST(Csv, SaveRoundTrip) {
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  const std::string path = "/tmp/reramdl_csv_test.csv";
+  ASSERT_TRUE(csv.save(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, got), "x\n42\n");
+}
+
+TEST(Csv, SaveToBadPathFails) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.save("/nonexistent-dir/file.csv"));
+}
+
+// ---- Config IO -------------------------------------------------------------
+
+TEST(ConfigIo, ParsesKeysAndComments) {
+  const auto cfg = core::parse_config(
+      "# a comment\n"
+      "banks = 16\n"
+      "array_rows = 256   # inline comment\n"
+      "weight_bits = 8\n"
+      "array_compute_energy_pj = 5e4\n");
+  EXPECT_EQ(cfg.chip.banks, 16u);
+  EXPECT_EQ(cfg.chip.array_rows, 256u);
+  EXPECT_EQ(cfg.weight_bits, 8u);
+  EXPECT_DOUBLE_EQ(cfg.chip.costs.array_compute_energy_pj, 5e4);
+}
+
+TEST(ConfigIo, UntouchedKeysKeepBaseValues) {
+  core::AcceleratorConfig base;
+  base.chip = arch::regan_chip();
+  const auto cfg = core::parse_config("input_bits = 6\n", base);
+  EXPECT_EQ(cfg.input_bits, 6u);
+  EXPECT_EQ(cfg.chip.banks, base.chip.banks);
+  EXPECT_DOUBLE_EQ(cfg.chip.costs.array_compute_energy_pj,
+                   base.chip.costs.array_compute_energy_pj);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  EXPECT_THROW(core::parse_config("no_such_knob = 1\n"), CheckError);
+}
+
+TEST(ConfigIo, MalformedLinesThrow) {
+  EXPECT_THROW(core::parse_config("banks 16\n"), CheckError);
+  EXPECT_THROW(core::parse_config("banks = many\n"), CheckError);
+  EXPECT_THROW(core::parse_config("banks = 16x\n"), CheckError);
+}
+
+TEST(ConfigIo, EmptyTextIsBaseConfig) {
+  const auto cfg = core::parse_config("\n  \n# only comments\n");
+  const core::AcceleratorConfig base;
+  EXPECT_EQ(cfg.chip.banks, base.chip.banks);
+}
+
+TEST(ConfigIo, DumpParsesBackIdentically) {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  cfg.weight_bits = 8;
+  cfg.max_arrays = 1234;
+  const auto round = core::parse_config(core::dump_config(cfg));
+  EXPECT_EQ(round.chip.banks, cfg.chip.banks);
+  EXPECT_EQ(round.weight_bits, 8u);
+  EXPECT_EQ(round.max_arrays, 1234u);
+  EXPECT_DOUBLE_EQ(round.chip.costs.array_compute_energy_pj,
+                   cfg.chip.costs.array_compute_energy_pj);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(core::load_config("/no/such/config.txt"), CheckError);
+}
+
+// ---- Update timing model ----------------------------------------------------
+
+TEST(UpdateModel, RowsCappedByArrayHeight) {
+  const auto m = mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::UpdateModel model(chip, m);
+  EXPECT_EQ(model.rows_to_program(), 128u);  // 784-row layer tiles at 128
+}
+
+TEST(UpdateModel, FullReprogramScalesWithTunePulses) {
+  const auto m = mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+  arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::UpdateModel model(chip, m);
+  const auto t = model.full_reprogram(1000.0);
+  EXPECT_DOUBLE_EQ(t.update_ns, 128.0 * chip.cell.program_latency_ns());
+  EXPECT_GT(t.cycles(), 1.0);  // a full re-tune is NOT one pipeline cycle
+}
+
+TEST(UpdateModel, DeltaUpdateMuchCheaperThanFullReprogram) {
+  const auto m = mapping::plan_naive(workload::spec_lenet5(), {128, 128});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::UpdateModel model(chip, m);
+  const auto full = model.full_reprogram(1000.0);
+  const auto delta = model.delta_update(1000.0, 1.0, 1);
+  EXPECT_LT(delta.update_ns, full.update_ns / 5.0);
+}
+
+TEST(UpdateModel, SparseDeltaApproachesOneCycle) {
+  // The paper's "+1 update cycle" idealization holds for sparse, few-pulse
+  // delta updates against a realistic pipeline cycle.
+  const auto m = mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::UpdateModel model(chip, m);
+  const double pipeline_cycle_ns = 6400.0;  // ~126 array steps x 50.88 ns
+  const auto t = model.delta_update(pipeline_cycle_ns, 0.5, 1);
+  EXPECT_LE(t.cycles(), 1.0);
+}
+
+TEST(UpdateModel, InvalidArgumentsThrow) {
+  const auto m = mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  const arch::UpdateModel model(chip, m);
+  EXPECT_THROW(model.full_reprogram(0.0), CheckError);
+  EXPECT_THROW(model.delta_update(1.0, 1.5, 1), CheckError);
+  EXPECT_THROW(model.delta_update(1.0, 0.5, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace reramdl

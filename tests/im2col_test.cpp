@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/im2col.hpp"
+
+namespace reramdl {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  const ConvGeometry g{3, 114, 114, 3, 3, 1, 0};
+  EXPECT_EQ(g.out_h(), 112u);
+  EXPECT_EQ(g.out_w(), 112u);
+  EXPECT_EQ(g.patches(), 12544u);  // Fig. 4's cycle count for the naive scheme
+}
+
+TEST(ConvGeometry, PaperFig4PatchSize) {
+  // 3x3 kernels over 128 channels -> 1152 wordlines.
+  const ConvGeometry g{128, 114, 114, 3, 3, 1, 0};
+  EXPECT_EQ(g.patch_size(), 1152u);
+}
+
+TEST(ConvGeometry, StrideAndPad) {
+  const ConvGeometry g{1, 28, 28, 4, 4, 2, 1};
+  EXPECT_EQ(g.out_h(), 14u);
+  EXPECT_EQ(g.out_w(), 14u);
+}
+
+TEST(Im2col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel, stride 1: patches are exactly the pixels.
+  const ConvGeometry g{1, 3, 3, 1, 1, 1, 0};
+  Tensor x(Shape{1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  const Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.shape(), Shape({9, 1}));
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(cols[i], static_cast<float>(i));
+}
+
+TEST(Im2col, KnownPatchContents) {
+  // 2x2 input, 2x2 kernel, no pad: single patch = whole image in (c,ky,kx)
+  // order.
+  const ConvGeometry g{2, 2, 2, 2, 2, 1, 0};
+  Tensor x(Shape{1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  const Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.shape(), Shape({1, 8}));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cols[i], static_cast<float>(i));
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  const ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+  const Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.shape(), Shape({4, 9}));
+  // Top-left patch: corner entries padded.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);  // (-1,-1)
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1.0f);  // (0,0)
+}
+
+struct ConvCase {
+  std::size_t c, h, w, k, stride, pad;
+};
+
+class Im2colAdjoint : public ::testing::TestWithParam<ConvCase> {};
+
+// col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST_P(Im2colAdjoint, InnerProductIdentity) {
+  const auto p = GetParam();
+  const ConvGeometry g{p.c, p.h, p.w, p.k, p.k, p.stride, p.pad};
+  Rng rng(5);
+  const std::size_t batch = 2;
+  const Tensor x = Tensor::normal(Shape{batch, p.c, p.h, p.w}, rng, 0.0f, 1.0f);
+  const Tensor cols = im2col(x, g);
+  const Tensor y = Tensor::normal(cols.shape(), rng, 0.0f, 1.0f);
+  const Tensor back = col2im(y, g, batch);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colAdjoint,
+    ::testing::Values(ConvCase{1, 5, 5, 3, 1, 0}, ConvCase{2, 6, 6, 3, 1, 1},
+                      ConvCase{3, 8, 8, 4, 2, 1}, ConvCase{1, 7, 9, 3, 2, 0},
+                      ConvCase{4, 4, 4, 2, 2, 0}, ConvCase{2, 9, 9, 5, 1, 2}));
+
+TEST(ZeroInsert, FactorOneIsIdentity) {
+  Rng rng(9);
+  const Tensor x = Tensor::normal(Shape{1, 2, 3, 3}, rng, 0.0f, 1.0f);
+  const Tensor y = zero_insert(x, 1);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(ZeroInsert, Factor2PlacesPixelsOnEvenGrid) {
+  Tensor x(Shape{1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1.0f;
+  x.at(0, 0, 0, 1) = 2.0f;
+  x.at(0, 0, 1, 0) = 3.0f;
+  x.at(0, 0, 1, 1) = 4.0f;
+  const Tensor y = zero_insert(x, 2);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 0.0f);
+}
+
+TEST(ZeroInsert, AdjointRecoversOriginalPositions) {
+  Rng rng(21);
+  const Tensor x = Tensor::normal(Shape{2, 3, 4, 5}, rng, 0.0f, 1.0f);
+  const Tensor d = zero_insert(x, 3);
+  const Tensor back = zero_insert_adjoint(d, 3, 4, 5);
+  ASSERT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(back[i], x[i]);
+}
+
+TEST(ZeroInsert, AdjointInnerProductIdentity) {
+  Rng rng(22);
+  const std::size_t f = 2, h = 3, w = 4;
+  const Tensor x = Tensor::normal(Shape{1, 2, h, w}, rng, 0.0f, 1.0f);
+  const Tensor dx = zero_insert(x, f);
+  const Tensor y = Tensor::normal(dx.shape(), rng, 0.0f, 1.0f);
+  const Tensor ya = zero_insert_adjoint(y, f, h, w);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    lhs += static_cast<double>(dx[i]) * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * ya[i];
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+}  // namespace
+}  // namespace reramdl

@@ -1,0 +1,182 @@
+// End-to-end integration: live networks trained with the NN substrate, then
+// mapped, costed, and functionally executed through crossbars — the complete
+// flow the paper's accelerators implement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/controller.hpp"
+#include "baseline/gpu_model.hpp"
+#include "core/comparison.hpp"
+#include "core/functional.hpp"
+#include "core/pipelayer.hpp"
+#include "core/regan.hpp"
+#include "nn/gan.hpp"
+#include "nn/trainer.hpp"
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl {
+namespace {
+
+TEST(Integration, TrainThenInferThroughCrossbars) {
+  // 1. Train an MLP in float.
+  Rng rng(500);
+  auto net = workload::make_mlp_mnist(rng);
+  nn::Sgd opt(net.params(), 0.05f, 0.9f);
+  nn::Trainer trainer(net, opt);
+  Rng data_rng(501);
+  const auto train = workload::make_mnist_like(384, data_rng);
+  const auto test = workload::make_mnist_like(96, data_rng);
+  for (int epoch = 0; epoch < 4; ++epoch)
+    trainer.train_epoch(train.images, train.labels, 32, rng);
+  const double float_acc =
+      trainer.evaluate(test.images, test.labels, 32).accuracy;
+  ASSERT_GT(float_acc, 0.8);
+
+  // 2. Deploy onto crossbars (PipeLayer testing mode) and re-evaluate.
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  core::CrossbarExecutor exec(net, cfg);
+  const double xbar_acc =
+      trainer.evaluate(test.images, test.labels, 32).accuracy;
+  // Quantized inference within a few points of float accuracy.
+  EXPECT_GT(xbar_acc, float_acc - 0.05);
+}
+
+TEST(Integration, TrainedWeightsSurviveUpdateReprogramCycle) {
+  // Simulates PipeLayer training: weights update digitally each batch, the
+  // arrays are reprogrammed, and inference continues on the crossbars.
+  Rng rng(502);
+  auto net = workload::make_mlp_mnist(rng);
+  nn::Sgd opt(net.params(), 0.05f, 0.9f);
+  nn::Trainer trainer(net, opt);
+  Rng data_rng(503);
+  const auto train = workload::make_mnist_like(256, data_rng);
+
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  core::CrossbarExecutor exec(net, cfg);
+
+  // Forward passes run on crossbars during training too; the update cycle at
+  // each batch end reprograms the arrays with the new weights.
+  const std::size_t batch = 32;
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (std::size_t b = 0; b + batch <= 256; b += batch) {
+      const Tensor xb = nn::slice_batch(train.images, b, batch);
+      const std::vector<std::size_t> yb(
+          train.labels.begin() + static_cast<long>(b),
+          train.labels.begin() + static_cast<long>(b + batch));
+      opt.zero_grad();
+      const Tensor logits = net.forward(xb, true);
+      const nn::LossResult r = nn::softmax_cross_entropy(logits, yb);
+      net.backward(r.grad);
+      opt.step();
+      exec.reprogram();  // the paper's weight-update cycle
+      if (epoch == 0 && b == 0) first_loss = r.loss;
+      last_loss = r.loss;
+    }
+  }
+  EXPECT_LT(last_loss, first_loss);
+  EXPECT_LT(last_loss, std::log(10.0));
+}
+
+TEST(Integration, GanTrainsWithCrossbarForwardPasses) {
+  Rng rng(504);
+  auto g = workload::make_dcgan_g_mnist(rng, 16);
+  auto d = workload::make_dcgan_d_mnist(rng);
+  nn::Adam opt_g(g.params(), 2e-3f);
+  nn::Adam opt_d(d.params(), 2e-3f);
+  nn::GanTrainer gan(g, d, opt_g, opt_d, 16, /*computation_sharing=*/true);
+
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::regan_chip();
+  core::CrossbarExecutor exec_g(g, cfg);
+  core::CrossbarExecutor exec_d(d, cfg);
+
+  Rng data_rng(505);
+  const Tensor real = workload::make_gan_images(4, 1, 28, data_rng);
+  for (int i = 0; i < 2; ++i) {
+    const auto s = gan.step(real, rng);
+    EXPECT_TRUE(std::isfinite(s.g_loss));
+    // Stats accumulate until the update cycle reprograms the arrays.
+    EXPECT_GT(exec_d.aggregate_stats().compute_ops, 0u);
+    exec_g.reprogram();
+    exec_d.reprogram();
+  }
+}
+
+TEST(Integration, TableOneShapeHolds) {
+  // The qualitative claims of Table I: both accelerators beat the GPU, and
+  // ReGAN's advantage exceeds PipeLayer's.
+  const baseline::GpuModel gpu(baseline::gtx1080());
+
+  core::AcceleratorConfig pl_cfg;
+  pl_cfg.chip = arch::pipelayer_chip();
+  const auto net = workload::spec_alexnet();
+  const core::PipeLayerAccelerator pipelayer(net, pl_cfg);
+  const auto pl = core::compare("alexnet", pipelayer.training_report(6400, 64),
+                                gpu.training_cost(net, 6400, 64));
+
+  core::AcceleratorConfig rg_cfg;
+  rg_cfg.chip = arch::regan_chip();
+  const auto gspec = workload::spec_dcgan_generator(64);
+  const auto dspec = workload::spec_dcgan_discriminator(64);
+  const core::ReGanAccelerator regan(gspec, dspec, rg_cfg);
+  const auto rg =
+      core::compare("dcgan-64", regan.training_report(6400, 64, {true, true}),
+                    gpu.gan_training_cost(gspec, dspec, 6400, 64));
+
+  EXPECT_GT(pl.speedup(), 1.0);
+  EXPECT_GT(pl.energy_saving(), 1.0);
+  EXPECT_GT(rg.speedup(), pl.speedup());
+  EXPECT_GT(rg.energy_saving(), pl.energy_saving());
+  // Speedups exceed energy savings for both (the paper's pattern).
+  EXPECT_GT(pl.speedup(), pl.energy_saving());
+  EXPECT_GT(rg.speedup(), rg.energy_saving());
+}
+
+TEST(Integration, BankProgramForOneLayerExecutes) {
+  // Lower one mapped layer into a bank-controller instruction stream and
+  // execute it: CFG -> (MOVE, COMPUTE)*steps -> STORE -> SYNC.
+  const auto net = workload::spec_mlp_mnist_a();
+  const mapping::NetworkMapping m =
+      mapping::plan_naive(net, {128, 128});
+  const auto& layer = m.layers[0];
+
+  const arch::ChipConfig chip = arch::pipelayer_chip();
+  arch::Bank bank(chip, 0);
+  arch::BankController ctrl(bank);
+
+  std::vector<std::uint32_t> program;
+  arch::Instruction cfg;
+  cfg.op = arch::Opcode::kCfgMode;
+  cfg.subarray = 0;
+  cfg.imm = 1;
+  program.push_back(encode(cfg));
+  for (std::size_t step = 0; step < layer.steps_per_sample(); ++step) {
+    arch::Instruction mv;
+    mv.op = arch::Opcode::kMove;
+    mv.subarray = 0;
+    mv.imm = static_cast<std::uint16_t>(layer.spec.matrix_rows());
+    program.push_back(encode(mv));
+    arch::Instruction comp;
+    comp.op = arch::Opcode::kCompute;
+    comp.subarray = 0;
+    comp.imm = static_cast<std::uint16_t>(
+        std::min<std::size_t>(layer.arrays(), chip.arrays_per_subarray));
+    program.push_back(encode(comp));
+  }
+  arch::Instruction sync;
+  sync.op = arch::Opcode::kSync;
+  program.push_back(encode(sync));
+
+  const arch::ExecutionReport r = ctrl.run(program);
+  EXPECT_EQ(r.sync_points, 1u);
+  EXPECT_GT(r.energy.component_pj("compute"), 0.0);
+  EXPECT_GT(r.busy_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace reramdl

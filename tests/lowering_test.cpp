@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "arch/controller.hpp"
+#include "arch/lowering.hpp"
+#include "common/check.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+mapping::NetworkMapping small_mapping() {
+  return mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+}
+
+TEST(Lowering, ForwardPassInstructionCounts) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  const auto program = lower_forward_pass(m, chip, 0);
+  const LoweringStats s = analyze(program);
+  EXPECT_EQ(s.configs, m.layers.size());
+  // One MOVE + one COMPUTE per step, one STORE + SYNC per layer.
+  std::size_t steps = 0;
+  for (const auto& l : m.layers) steps += l.steps_per_sample();
+  EXPECT_EQ(s.moves, steps);
+  EXPECT_EQ(s.computes, steps);
+  EXPECT_EQ(s.stores, m.layers.size());
+  EXPECT_EQ(s.syncs, m.layers.size());
+  EXPECT_EQ(s.updates, 0u);
+  EXPECT_EQ(s.total(), program.size());
+}
+
+TEST(Lowering, TrainingBatchHasOneUpdatePerLayer) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  const std::size_t batch = 4;
+  const auto program = lower_training_batch(m, chip, 0, batch);
+  const LoweringStats s = analyze(program);
+  EXPECT_EQ(s.updates, m.layers.size());
+  // 3 passes (fwd, err-bwd, wgrad) per input per layer.
+  std::size_t steps = 0;
+  for (const auto& l : m.layers) steps += l.steps_per_sample();
+  EXPECT_EQ(s.computes, 3 * batch * steps);
+}
+
+TEST(Lowering, ProgramExecutesOnBankController) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  const auto program = lower_forward_pass(m, chip, 0);
+  const ExecutionReport r = ctrl.run(program);
+  EXPECT_EQ(r.instructions, program.size());
+  EXPECT_GT(r.busy_ns, 0.0);
+  EXPECT_GT(r.energy.component_pj("compute"), 0.0);
+  EXPECT_GT(r.energy.component_pj("memory"), 0.0);
+}
+
+TEST(Lowering, TrainingProgramBooksUpdateEnergy) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  const auto program = lower_training_batch(m, chip, 0, 2);
+  const ExecutionReport r = ctrl.run(program);
+  EXPECT_GT(r.energy.component_pj("update"), 0.0);
+  EXPECT_GE(r.sync_points, 1u);
+}
+
+TEST(Lowering, TargetsRequestedBank) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  const auto program = lower_forward_pass(m, chip, 5);
+  for (const auto word : program) EXPECT_EQ(decode(word).bank, 5);
+}
+
+TEST(Lowering, InvalidBankThrows) {
+  const auto m = small_mapping();
+  const ChipConfig chip = pipelayer_chip();
+  EXPECT_THROW(lower_forward_pass(m, chip, chip.banks), CheckError);
+}
+
+TEST(Lowering, ConvNetworkLowersAndRuns) {
+  // LeNet's conv layers generate many steps per sample under the naive plan;
+  // the whole program must still execute cleanly.
+  const auto m = mapping::plan_naive(workload::spec_lenet5(), {128, 128});
+  const ChipConfig chip = pipelayer_chip();
+  Bank bank(chip, 0);
+  BankController ctrl(bank);
+  const auto program = lower_forward_pass(m, chip, 0);
+  const LoweringStats s = analyze(program);
+  EXPECT_GT(s.computes, 800u);  // 784 conv1 steps + 100 conv2 steps + fcs
+  EXPECT_NO_THROW(ctrl.run(program));
+}
+
+TEST(Lowering, BalancedPlanShrinksProgram) {
+  // Replication reduces steps per sample, hence instructions per pass.
+  const auto net = workload::spec_lenet5();
+  const auto naive = mapping::plan_naive(net, {128, 128});
+  const auto balanced = mapping::plan_balanced(net, {128, 128}, 8);
+  const ChipConfig chip = pipelayer_chip();
+  EXPECT_LT(lower_forward_pass(balanced, chip, 0).size(),
+            lower_forward_pass(naive, chip, 0).size());
+}
+
+}  // namespace
+}  // namespace reramdl::arch

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "mapping/kernel_flatten.hpp"
+#include "mapping/planner.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::mapping {
+namespace {
+
+TEST(KernelFlatten, RoundTrip) {
+  Rng rng(1);
+  const Tensor k = Tensor::normal(Shape{5, 3, 2, 2}, rng, 0.0f, 1.0f);
+  const Tensor m = flatten_kernel(k);
+  EXPECT_EQ(m.shape(), Shape({3 * 2 * 2, 5}));
+  const Tensor back = unflatten_kernel(m, 3, 2, 2);
+  ASSERT_EQ(back.shape(), k.shape());
+  for (std::size_t i = 0; i < k.numel(); ++i) EXPECT_FLOAT_EQ(back[i], k[i]);
+}
+
+TEST(KernelFlatten, OrderingMatchesIm2col) {
+  // Convolution through flattened kernel x im2col patches must equal a
+  // direct convolution — proving the crossbar column layout (Fig. 4) and
+  // the patch layout agree.
+  Rng rng(2);
+  const std::size_t in_c = 2, h = 5, w = 5, out_c = 3, k = 3;
+  const Tensor kernel4d = Tensor::normal(Shape{out_c, in_c, k, k}, rng, 0.0f, 1.0f);
+  const Tensor x = Tensor::normal(Shape{1, in_c, h, w}, rng, 0.0f, 1.0f);
+
+  const ConvGeometry g{in_c, h, w, k, k, 1, 0};
+  const Tensor cols = im2col(x, g);
+  const Tensor y_mat = ops::matmul(cols, flatten_kernel(kernel4d));
+
+  // Direct convolution reference.
+  for (std::size_t o = 0; o < out_c; ++o) {
+    for (std::size_t oy = 0; oy < g.out_h(); ++oy) {
+      for (std::size_t ox = 0; ox < g.out_w(); ++ox) {
+        double ref = 0.0;
+        for (std::size_t c = 0; c < in_c; ++c)
+          for (std::size_t ky = 0; ky < k; ++ky)
+            for (std::size_t kx = 0; kx < k; ++kx)
+              ref += static_cast<double>(kernel4d.at(o, c, ky, kx)) *
+                     x.at(0, c, oy + ky, ox + kx);
+        EXPECT_NEAR(y_mat.at(oy * g.out_w() + ox, o), ref, 1e-3);
+      }
+    }
+  }
+}
+
+nn::LayerSpec fig4_conv() {
+  // The paper's running example: 114x114x128 -> 112x112x256 with 3x3
+  // kernels.
+  nn::NetworkSpecBuilder b("fig4", 128, 114, 114);
+  b.conv(256, 3);
+  return std::move(b).build().layers[0];
+}
+
+TEST(LayerMapping, Fig4NaiveScheme) {
+  const MappingConfig cfg{128, 128};
+  const LayerMapping m = map_layer(fig4_conv(), cfg, 1);
+  EXPECT_EQ(m.spec.matrix_rows(), 1152u);
+  EXPECT_EQ(m.spec.matrix_cols(), 256u);
+  EXPECT_EQ(m.row_tiles, 9u);
+  EXPECT_EQ(m.col_tiles, 2u);
+  EXPECT_EQ(m.arrays(), 18u);
+  // "the given example will take 12544 cycles to get all outputs"
+  EXPECT_EQ(m.steps_per_sample(), 12544u);
+}
+
+TEST(LayerMapping, Fig4BalancedSchemeX256) {
+  // "Fig. 4 is an example with X = 256."
+  const MappingConfig cfg{128, 128};
+  const LayerMapping m = map_layer(fig4_conv(), cfg, 256);
+  EXPECT_EQ(m.arrays(), 18u * 256u);
+  EXPECT_EQ(m.steps_per_sample(), 49u);  // ceil(12544 / 256)
+}
+
+TEST(LayerMapping, FullReplicationIsOneCycle) {
+  // "If X = 12544, the results of a layer could be generated in just one
+  // cycle but the hardware cost is excessive."
+  const MappingConfig cfg{128, 128};
+  const LayerMapping m = map_layer(fig4_conv(), cfg, 12544);
+  EXPECT_EQ(m.steps_per_sample(), 1u);
+  EXPECT_EQ(m.arrays(), 18u * 12544u);
+}
+
+TEST(LayerMapping, ReplicationBeyondVectorsThrows) {
+  const MappingConfig cfg{128, 128};
+  EXPECT_THROW(map_layer(fig4_conv(), cfg, 12545), CheckError);
+}
+
+TEST(LayerMapping, DenseLayerSingleVector) {
+  nn::NetworkSpecBuilder b("fc", 784, 1, 1);
+  b.dense(512);
+  const auto spec = std::move(b).build().layers[0];
+  const LayerMapping m = map_layer(spec, {128, 128}, 1);
+  EXPECT_EQ(m.row_tiles, 7u);  // ceil(784/128)
+  EXPECT_EQ(m.col_tiles, 4u);
+  EXPECT_EQ(m.steps_per_sample(), 1u);
+}
+
+TEST(LayerMapping, UnweightedLayerRejected) {
+  nn::NetworkSpecBuilder b("pool", 8, 8, 8);
+  b.pool(2);
+  EXPECT_THROW(map_layer(std::move(b).build().layers[0], {128, 128}, 1),
+               CheckError);
+}
+
+TEST(Planner, NaivePlanUsesNoReplication) {
+  const auto net = workload::spec_lenet5();
+  const NetworkMapping m = plan_naive(net, {128, 128});
+  EXPECT_EQ(m.layers.size(), net.weighted_layers());
+  for (const auto& l : m.layers) EXPECT_EQ(l.replication, 1u);
+}
+
+TEST(Planner, BalancedPlanMeetsTargetSteps) {
+  const auto net = workload::spec_lenet5();
+  for (const std::size_t target : {1u, 7u, 50u, 200u}) {
+    const NetworkMapping m = plan_balanced(net, {128, 128}, target);
+    EXPECT_LE(m.stage_steps(), target);
+  }
+}
+
+TEST(Planner, BalancedArraysDecreaseWithTarget) {
+  const auto net = workload::spec_lenet5();
+  std::size_t prev = plan_balanced(net, {128, 128}, 1).total_arrays();
+  for (const std::size_t target : {2u, 8u, 64u, 1024u}) {
+    const std::size_t arrays = plan_balanced(net, {128, 128}, target).total_arrays();
+    EXPECT_LE(arrays, prev);
+    prev = arrays;
+  }
+}
+
+TEST(Planner, BudgetPlanRespectsBudget) {
+  const auto net = workload::spec_lenet5();
+  const std::size_t naive_arrays = plan_naive(net, {128, 128}).total_arrays();
+  for (const std::size_t budget : {naive_arrays, naive_arrays * 4, naive_arrays * 64}) {
+    const NetworkMapping m = plan_under_budget(net, {128, 128}, budget);
+    EXPECT_LE(m.total_arrays(), budget);
+  }
+}
+
+TEST(Planner, BiggerBudgetNeverSlower) {
+  const auto net = workload::spec_alexnet();
+  std::size_t prev_steps =
+      plan_under_budget(net, {128, 128}, 512).stage_steps();
+  for (const std::size_t budget : {2048u, 8192u, 32768u}) {
+    const std::size_t steps = plan_under_budget(net, {128, 128}, budget).stage_steps();
+    EXPECT_LE(steps, prev_steps);
+    prev_steps = steps;
+  }
+}
+
+TEST(Planner, InfeasibleBudgetFallsBackToNaive) {
+  const auto net = workload::spec_alexnet();
+  const NetworkMapping m = plan_under_budget(net, {128, 128}, 1);
+  for (const auto& l : m.layers) EXPECT_EQ(l.replication, 1u);
+}
+
+TEST(Planner, FullBudgetReachesSingleStep) {
+  const auto net = workload::spec_lenet5();
+  // A generous budget should drive every stage to one step per sample.
+  const NetworkMapping m = plan_under_budget(net, {128, 128}, 1u << 20);
+  EXPECT_EQ(m.stage_steps(), 1u);
+}
+
+TEST(NetworkMapping, TotalsAggregate) {
+  const auto net = workload::spec_mlp_mnist_a();
+  const NetworkMapping m = plan_naive(net, {128, 128});
+  std::size_t arrays = 0, cells = 0;
+  for (const auto& l : m.layers) {
+    arrays += l.arrays();
+    cells += l.weight_cells();
+  }
+  EXPECT_EQ(m.total_arrays(), arrays);
+  EXPECT_EQ(m.total_weight_cells(), cells);
+  EXPECT_EQ(cells, net.total_weights());  // X = 1: one copy of every weight
+}
+
+TEST(NetworkMapping, ArraySizeTradeoff) {
+  // Smaller arrays need more tiles for the same network.
+  const auto net = workload::spec_mlp_mnist_b();
+  const std::size_t big = plan_naive(net, {256, 256}).total_arrays();
+  const std::size_t small = plan_naive(net, {64, 64}).total_arrays();
+  EXPECT_GT(small, big);
+}
+
+}  // namespace
+}  // namespace reramdl::mapping

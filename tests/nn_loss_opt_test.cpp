@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace reramdl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  const Tensor logits = Tensor::zeros(Shape{4, 10});
+  const std::vector<std::size_t> labels{0, 3, 5, 9};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(1);
+  const Tensor logits = Tensor::normal(Shape{3, 5}, rng, 0.0f, 2.0f);
+  const LossResult r = softmax_cross_entropy(logits, {1, 2, 4});
+  for (std::size_t i = 0; i < 3; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) s += r.grad.at(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  Rng rng(2);
+  Tensor logits = Tensor::normal(Shape{2, 4}, rng, 0.0f, 1.0f);
+  const std::vector<std::size_t> labels{1, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig - eps;
+    const float lm = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(r.grad[i], (lp - lm) / (2.0f * eps), 2e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 1000.0f;
+  logits[1] = -1000.0f;
+  logits[2] = 0.0f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0, 1e-4);
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  const Tensor logits = Tensor::zeros(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), CheckError);
+}
+
+TEST(BceWithLogits, MatchesClosedForm) {
+  Tensor logits(Shape{2});
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  const LossResult r = bce_with_logits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(r.grad[0], (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad[1], (0.5 - 0.0) / 2.0, 1e-6);
+}
+
+TEST(BceWithLogits, StableAtExtremes) {
+  Tensor logits(Shape{2});
+  logits[0] = 80.0f;
+  logits[1] = -80.0f;
+  const LossResult r = bce_with_logits(logits, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+}
+
+TEST(BceWithLogits, GradientMatchesNumeric) {
+  Rng rng(3);
+  Tensor logits = Tensor::normal(Shape{4}, rng, 0.0f, 1.5f);
+  const std::vector<float> t{1.0f, 0.0f, 1.0f, 0.0f};
+  const LossResult r = bce_with_logits(logits, t);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = bce_with_logits(logits, t).loss;
+    logits[i] = orig - eps;
+    const float lm = bce_with_logits(logits, t).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(r.grad[i], (lp - lm) / (2.0f * eps), 2e-3);
+  }
+}
+
+TEST(Mse, ZeroWhenEqual) {
+  Rng rng(4);
+  const Tensor x = Tensor::normal(Shape{5}, rng, 0.0f, 1.0f);
+  const LossResult r = mse(x, x);
+  EXPECT_FLOAT_EQ(r.loss, 0.0f);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(r.grad[i], 0.0f);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits(Shape{2, 3});
+  logits.at(0, 2) = 5.0f;  // predicts 2
+  logits.at(1, 0) = 5.0f;  // predicts 0
+  EXPECT_DOUBLE_EQ(accuracy(logits, {2, 1}), 0.5);
+}
+
+// ---- Optimizers ----------------------------------------------------------
+
+// Minimize f(w) = 0.5 * ||w||^2 (gradient = w): every optimizer must
+// converge toward the origin.
+struct QuadraticProblem {
+  Tensor w{Shape{4}, 1.0f};
+  Tensor g{Shape{4}};
+
+  std::vector<ParamRef> params() { return {{&w, &g}}; }
+  void compute_grad() {
+    for (std::size_t i = 0; i < 4; ++i) g[i] = w[i];
+  }
+  double norm() const {
+    double n = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) n += static_cast<double>(w[i]) * w[i];
+    return std::sqrt(n);
+  }
+};
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  QuadraticProblem p;
+  Sgd opt(p.params(), 0.1f);
+  p.compute_grad();
+  opt.step();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(p.w[i], 0.9f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  QuadraticProblem p;
+  Sgd opt(p.params(), 0.2f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    p.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(p.norm(), 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesEarlySteps) {
+  QuadraticProblem plain, mom;
+  Sgd o1(plain.params(), 0.05f, 0.0f);
+  Sgd o2(mom.params(), 0.05f, 0.9f);
+  for (int i = 0; i < 10; ++i) {
+    o1.zero_grad();
+    plain.compute_grad();
+    o1.step();
+    o2.zero_grad();
+    mom.compute_grad();
+    o2.step();
+  }
+  EXPECT_LT(mom.norm(), plain.norm());
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadraticProblem p;
+  Adam opt(p.params(), 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    p.compute_grad();
+    opt.step();
+  }
+  EXPECT_LT(p.norm(), 1e-2);
+}
+
+TEST(Optimizer, ZeroGradClearsAccumulators) {
+  QuadraticProblem p;
+  Sgd opt(p.params(), 0.1f);
+  p.compute_grad();
+  opt.zero_grad();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(p.g[i], 0.0f);
+}
+
+TEST(Optimizer, GradientsAccumulateAcrossBackwardCalls) {
+  // The PipeLayer batch semantics: two backward passes without a zero_grad
+  // sum their gradients; one update then applies the batch total.
+  Rng rng(5);
+  Dense d(3, 2, rng);
+  const Tensor x = Tensor::normal(Shape{2, 3}, rng, 0.0f, 1.0f);
+  const Tensor g = Tensor::normal(Shape{2, 2}, rng, 0.0f, 1.0f);
+  d.forward(x, true);
+  d.backward(g);
+  const Tensor once = *d.params()[0].grad;
+  d.forward(x, true);
+  d.backward(g);
+  const Tensor& twice = *d.params()[0].grad;
+  for (std::size_t i = 0; i < once.numel(); ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4);
+}
+
+}  // namespace
+}  // namespace reramdl::nn

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "pipeline/analytic.hpp"
+#include "pipeline/sim.hpp"
+
+namespace reramdl::pipeline {
+namespace {
+
+// ---- Closed forms ----------------------------------------------------------
+
+TEST(Analytic, PipelayerTrainFormula) {
+  // (N/B)(2L + B + 1)
+  EXPECT_EQ(pipelayer_train_cycles_pipelined(64, 3, 64), 2u * 3 + 64 + 1);
+  EXPECT_EQ(pipelayer_train_cycles_pipelined(128, 5, 32),
+            4u * (2 * 5 + 32 + 1));
+}
+
+TEST(Analytic, PipelayerSequentialFormula) {
+  // (2L+1)N + N/B
+  EXPECT_EQ(pipelayer_train_cycles_sequential(64, 3, 64), 7u * 64 + 1);
+}
+
+TEST(Analytic, PipelinedTrainingAlwaysFaster) {
+  for (std::uint64_t l : {1u, 3u, 8u, 16u})
+    for (std::uint64_t b : {2u, 16u, 64u})
+      EXPECT_LT(pipelayer_train_cycles_pipelined(b * 4, l, b),
+                pipelayer_train_cycles_sequential(b * 4, l, b));
+}
+
+TEST(Analytic, PipelayerTrainSpeedupApproaches2LPlus1OverLargeB) {
+  // For B >> L the pipelined cost per input -> 1 cycle; speedup -> 2L+1.
+  const std::uint64_t l = 4, b = 4096, n = 8192;
+  const double speedup =
+      static_cast<double>(pipelayer_train_cycles_sequential(n, l, b)) /
+      static_cast<double>(pipelayer_train_cycles_pipelined(n, l, b));
+  EXPECT_NEAR(speedup, static_cast<double>(2 * l + 1), 0.05);
+}
+
+TEST(Analytic, InferenceFormulas) {
+  EXPECT_EQ(pipelayer_infer_cycles_pipelined(100, 5), 104u);
+  EXPECT_EQ(pipelayer_infer_cycles_sequential(100, 5), 500u);
+}
+
+TEST(Analytic, NonMultipleBatchThrows) {
+  EXPECT_THROW(pipelayer_train_cycles_pipelined(65, 3, 64), CheckError);
+}
+
+TEST(Analytic, ReGanPhaseFormulas) {
+  const GanShape s{4, 3, 16};  // l_d=4, l_g=3, b=16
+  EXPECT_EQ(regan_phase1_cycles(s), 2u * 4 + 1 + 15);
+  EXPECT_EQ(regan_phase2_cycles(s), 3u + 2 * 4 + 1 + 15);
+  EXPECT_EQ(regan_train_d_cycles(s),
+            regan_phase1_cycles(s) + regan_phase2_cycles(s) + 1);
+  EXPECT_EQ(regan_train_g_cycles(s), 2u * 3 + 2 * 4 + 16 + 1);
+}
+
+TEST(Analytic, ReGanUnpipelinedFormula) {
+  const GanShape s{4, 3, 16};
+  EXPECT_EQ(regan_batch_cycles_unpipelined(s),
+            (4u * 4 + 3 + 2) * 16 + (2u * 4 + 2 * 3 + 1) * 16);
+}
+
+TEST(Analytic, OptimizationOrdering) {
+  // base >= SP >= SP+CS and base >= CS >= SP+CS for any shape.
+  for (std::uint64_t ld : {1u, 4u, 9u})
+    for (std::uint64_t lg : {1u, 4u, 9u})
+      for (std::uint64_t b : {4u, 16u, 64u}) {
+        const GanShape s{ld, lg, b};
+        const auto base = regan_batch_cycles_pipelined(s);
+        const auto sp = regan_batch_cycles_sp(s);
+        const auto cs = regan_batch_cycles_cs(s);
+        const auto both = regan_batch_cycles_sp_cs(s);
+        EXPECT_LE(sp, base);
+        EXPECT_LE(cs, base);
+        EXPECT_LE(both, sp);
+        EXPECT_LE(both, cs);
+        EXPECT_LT(base, regan_batch_cycles_unpipelined(s));
+      }
+}
+
+TEST(Analytic, PipelineNeedsBatchDepthToWin) {
+  // With B = 1 the pipeline's fill/drain overhead exceeds the sequential
+  // schedule by exactly the two phase-transition cycles.
+  const GanShape s{4, 3, 1};
+  EXPECT_EQ(regan_batch_cycles_pipelined(s),
+            regan_batch_cycles_unpipelined(s) + 2);
+}
+
+TEST(Analytic, SpHidesPhase1Latency) {
+  const GanShape s{5, 3, 32};
+  EXPECT_EQ(regan_batch_cycles_pipelined(s) - regan_batch_cycles_sp(s),
+            regan_phase1_cycles(s));
+}
+
+// ---- Event simulator == closed forms ---------------------------------------
+
+struct TrainCase {
+  std::uint64_t n, l, b;
+};
+
+class PipelayerSimMatchesFormula : public ::testing::TestWithParam<TrainCase> {};
+
+TEST_P(PipelayerSimMatchesFormula, TrainingCycles) {
+  const auto [n, l, b] = GetParam();
+  EXPECT_EQ(sim_pipelayer_training(n, l, b).cycles,
+            pipelayer_train_cycles_pipelined(n, l, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelayerSimMatchesFormula,
+    ::testing::Values(TrainCase{1, 1, 1}, TrainCase{4, 1, 2},
+                      TrainCase{8, 3, 4}, TrainCase{64, 3, 64},
+                      TrainCase{128, 5, 32}, TrainCase{96, 8, 16},
+                      TrainCase{256, 19, 64}, TrainCase{30, 2, 5}));
+
+struct InferCase {
+  std::uint64_t n, l;
+};
+
+class PipelayerInferSim : public ::testing::TestWithParam<InferCase> {};
+
+TEST_P(PipelayerInferSim, MatchesNPlusLMinus1) {
+  const auto [n, l] = GetParam();
+  EXPECT_EQ(sim_pipelayer_inference(n, l).cycles,
+            pipelayer_infer_cycles_pipelined(n, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelayerInferSim,
+                         ::testing::Values(InferCase{1, 1}, InferCase{10, 1},
+                                           InferCase{1, 10}, InferCase{100, 7},
+                                           InferCase{13, 13}));
+
+struct GanCase {
+  std::uint64_t ld, lg, b;
+};
+
+class ReGanSimMatchesFormula : public ::testing::TestWithParam<GanCase> {};
+
+TEST_P(ReGanSimMatchesFormula, BaselinePipelined) {
+  const auto [ld, lg, b] = GetParam();
+  const GanShape s{ld, lg, b};
+  EXPECT_EQ(sim_regan_batch(s, {false, false}).cycles,
+            regan_batch_cycles_pipelined(s));
+}
+
+TEST_P(ReGanSimMatchesFormula, SpatialParallelism) {
+  const auto [ld, lg, b] = GetParam();
+  const GanShape s{ld, lg, b};
+  EXPECT_EQ(sim_regan_batch(s, {true, false}).cycles, regan_batch_cycles_sp(s));
+}
+
+TEST_P(ReGanSimMatchesFormula, ComputationSharing) {
+  const auto [ld, lg, b] = GetParam();
+  const GanShape s{ld, lg, b};
+  EXPECT_EQ(sim_regan_batch(s, {false, true}).cycles, regan_batch_cycles_cs(s));
+}
+
+TEST_P(ReGanSimMatchesFormula, BothOptimizations) {
+  const auto [ld, lg, b] = GetParam();
+  const GanShape s{ld, lg, b};
+  EXPECT_EQ(sim_regan_batch(s, {true, true}).cycles,
+            regan_batch_cycles_sp_cs(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReGanSimMatchesFormula,
+    ::testing::Values(GanCase{1, 1, 1}, GanCase{2, 2, 4}, GanCase{4, 3, 16},
+                      GanCase{4, 4, 64}, GanCase{5, 3, 32}, GanCase{9, 7, 8},
+                      GanCase{3, 8, 2}, GanCase{12, 2, 128}));
+
+TEST(ReGanSim, MultiBatchIsAdditive) {
+  const GanShape s{4, 3, 16};
+  const ReGanOptions opts{true, true};
+  EXPECT_EQ(sim_regan_training(64, s, opts).cycles,
+            4 * sim_regan_batch(s, opts).cycles);
+}
+
+// ---- Trace / Gantt ---------------------------------------------------------
+
+TEST(Sim, GanttRendersStagesByCycle) {
+  const SimResult r = sim_pipelayer_training(4, 2, 4, /*want_trace=*/true);
+  EXPECT_FALSE(r.gantt.empty());
+  // First forward stage row exists and shows the first item at cycle 0.
+  EXPECT_NE(r.gantt.find("F1 |0"), std::string::npos);
+  // Update stage fires exactly once.
+  EXPECT_NE(r.gantt.find("U"), std::string::npos);
+}
+
+TEST(Sim, StagesNeverDoubleBooked) {
+  PipelineSim sim;
+  const auto s = sim.add_stage("x");
+  sim.enable_trace(true);
+  const auto t1 = sim.add_task(s, 0);
+  const auto t2 = sim.add_task(s, 0);  // same ready time: must serialize
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(t2, 2u);
+}
+
+TEST(Sim, ChainRespectsDependencies) {
+  PipelineSim sim;
+  const auto a = sim.add_stage("a");
+  const auto b = sim.add_stage("b");
+  EXPECT_EQ(sim.add_chain({a, b}, 5), 7u);
+}
+
+}  // namespace
+}  // namespace reramdl::pipeline

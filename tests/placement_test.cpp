@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "arch/noc.hpp"
+#include "arch/placement.hpp"
+#include "common/check.hpp"
+#include "mapping/planner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+TEST(MeshNoc, HopsAreManhattanDistance) {
+  MeshNoc noc(4, 4, NocParams{});
+  EXPECT_EQ(noc.hops(0, 0), 0u);
+  EXPECT_EQ(noc.hops(0, 3), 3u);    // same row
+  EXPECT_EQ(noc.hops(0, 12), 3u);   // same column
+  EXPECT_EQ(noc.hops(0, 15), 6u);   // opposite corner
+  EXPECT_EQ(noc.hops(5, 10), noc.hops(10, 5));  // symmetric
+}
+
+TEST(MeshNoc, OutOfRangeBankThrows) {
+  MeshNoc noc(2, 2, NocParams{});
+  EXPECT_THROW(noc.hops(0, 4), CheckError);
+}
+
+TEST(MeshNoc, SameBankTransferIsFree) {
+  MeshNoc noc(2, 2, NocParams{});
+  EXPECT_DOUBLE_EQ(noc.transfer_latency_ns(1, 1, 4096), 0.0);
+  EXPECT_DOUBLE_EQ(noc.transfer_energy_pj(1, 1, 4096), 0.0);
+}
+
+TEST(MeshNoc, TransferCostsScale) {
+  NocParams p;
+  MeshNoc noc(4, 4, p);
+  const double lat1 = noc.transfer_latency_ns(0, 1, 1024);
+  const double lat3 = noc.transfer_latency_ns(0, 3, 1024);
+  EXPECT_GT(lat3, lat1);
+  // Energy proportional to hops x bytes.
+  EXPECT_DOUBLE_EQ(noc.transfer_energy_pj(0, 3, 1024),
+                   3.0 * p.hop_energy_pj_per_byte * 1024.0);
+}
+
+TEST(MeshNoc, SerializationBoundedByLinkBandwidth) {
+  NocParams p;
+  p.link_bandwidth_bytes_per_ns = 8.0;
+  MeshNoc noc(2, 2, p);
+  // 800 bytes at 8 B/ns = 100 ns serialization + 1 hop latency.
+  EXPECT_NEAR(noc.transfer_latency_ns(0, 1, 800), 100.0 + p.hop_latency_ns,
+              1e-9);
+}
+
+TEST(MeshNoc, FactoryCoversRequestedBanks) {
+  for (const std::size_t banks : {1u, 4u, 16u, 64u, 60u, 7u}) {
+    const MeshNoc noc = make_mesh_for_banks(banks);
+    EXPECT_GE(noc.num_banks(), banks);
+  }
+  const MeshNoc square = make_mesh_for_banks(64);
+  EXPECT_EQ(square.rows(), 8u);
+  EXPECT_EQ(square.cols(), 8u);
+}
+
+// ---- Placement ---------------------------------------------------------------
+
+struct PlacementFixture {
+  mapping::NetworkMapping mapping;
+  ChipConfig chip;
+  MeshNoc noc;
+
+  PlacementFixture()
+      : mapping(mapping::plan_under_budget(workload::spec_vgg_a(), {128, 128},
+                                           16384)),
+        chip(pipelayer_chip()),
+        noc(make_mesh_for_banks(pipelayer_chip().banks)) {}
+};
+
+TEST(Placement, SnakeRespectsBankCapacity) {
+  PlacementFixture f;
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  const std::size_t cap =
+      f.chip.morphable_subarrays_per_bank * f.chip.arrays_per_subarray;
+  ASSERT_EQ(p.bank.size(), f.mapping.layers.size());
+  for (const std::size_t arrays : p.arrays_per_bank) EXPECT_LE(arrays, cap);
+}
+
+TEST(Placement, ScatteredRespectsBankCapacity) {
+  PlacementFixture f;
+  const Placement p = place_scattered(f.mapping, f.chip, f.noc);
+  const std::size_t cap =
+      f.chip.morphable_subarrays_per_bank * f.chip.arrays_per_subarray;
+  for (const std::size_t arrays : p.arrays_per_bank) EXPECT_LE(arrays, cap);
+}
+
+TEST(Placement, SnakeKeepsAdjacentLayersClose) {
+  PlacementFixture f;
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  // In snake order, consecutive positions are mesh neighbours: the next
+  // layer's home bank is at most (banks spanned by this layer) hops away.
+  ASSERT_EQ(p.spans.size(), p.bank.size());
+  for (std::size_t i = 0; i + 1 < p.bank.size(); ++i)
+    EXPECT_LE(f.noc.hops(p.bank[i], p.bank[i + 1]), p.spans[i]);
+}
+
+TEST(Placement, SnakeBeatsScatteredOnInterconnectCost) {
+  PlacementFixture f;
+  const auto snake =
+      evaluate_placement(place_snake(f.mapping, f.chip, f.noc), f.mapping, f.noc);
+  const auto scattered = evaluate_placement(
+      place_scattered(f.mapping, f.chip, f.noc), f.mapping, f.noc);
+  EXPECT_LT(snake.total_hops, scattered.total_hops);
+  EXPECT_LT(snake.transfer_pj_per_sample, scattered.transfer_pj_per_sample);
+  EXPECT_LE(snake.transfer_ns_per_sample, scattered.transfer_ns_per_sample);
+}
+
+TEST(Placement, CostCountsBanksUsed) {
+  PlacementFixture f;
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  const PlacementCost c = evaluate_placement(p, f.mapping, f.noc);
+  EXPECT_GE(c.banks_used, 1u);
+  EXPECT_LE(c.banks_used, f.noc.num_banks());
+}
+
+TEST(Placement, SingleBankNetworkHasZeroTraffic) {
+  // A tiny MLP fits one bank: no interconnect traffic at all.
+  const auto m = mapping::plan_naive(workload::spec_mlp_mnist_a(), {128, 128});
+  const ChipConfig chip = pipelayer_chip();
+  const MeshNoc noc = make_mesh_for_banks(chip.banks);
+  const Placement p = place_snake(m, chip, noc);
+  const PlacementCost c = evaluate_placement(p, m, noc);
+  EXPECT_EQ(c.banks_used, 1u);
+  EXPECT_EQ(c.total_hops, 0u);
+  EXPECT_DOUBLE_EQ(c.transfer_pj_per_sample, 0.0);
+}
+
+TEST(Placement, ChipOutOfCapacityThrows) {
+  // Total demand beyond the whole chip's morphable capacity is rejected.
+  ChipConfig tiny = pipelayer_chip();
+  tiny.banks = 4;
+  tiny.morphable_subarrays_per_bank = 1;
+  tiny.arrays_per_subarray = 1;
+  const auto m =
+      mapping::plan_naive(workload::spec_mlp_mnist_c(), {128, 128});
+  const MeshNoc noc = make_mesh_for_banks(tiny.banks);
+  EXPECT_THROW(place_snake(m, tiny, noc), CheckError);
+}
+
+TEST(Placement, LargeLayerSpansMultipleBanks) {
+  PlacementFixture f;
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  std::size_t max_span = 0;
+  for (const auto s : p.spans) max_span = std::max(max_span, s);
+  // VGG-A under a 16k-array budget has layers bigger than one bank (256
+  // arrays), so at least one layer must span several banks.
+  EXPECT_GT(max_span, 1u);
+}
+
+}  // namespace
+}  // namespace reramdl::arch

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/related_work.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::core {
+namespace {
+
+struct Fixture {
+  baseline::GpuModel gpu{baseline::gtx1080()};
+  AcceleratorConfig cfg;
+  Scenario scenario{6400, 64000, 64};
+
+  Fixture() { cfg.chip = arch::pipelayer_chip(); }
+};
+
+TEST(RelatedWork, AllSystemsHavePositiveCosts) {
+  Fixture f;
+  const auto net = workload::spec_lenet5();
+  for (const SystemCost& c :
+       {gpu_only_cost(net, f.scenario, f.gpu),
+        isaac_like_cost(net, f.scenario, f.cfg, f.gpu),
+        pipelayer_cost(net, f.scenario, f.cfg)}) {
+    EXPECT_GT(c.train_time_s, 0.0);
+    EXPECT_GT(c.infer_time_s, 0.0);
+    EXPECT_GT(c.total_energy_j(), 0.0);
+  }
+}
+
+TEST(RelatedWork, IsaacLikeSharesGpuTrainingCost) {
+  Fixture f;
+  const auto net = workload::spec_alexnet();
+  const auto gpu_only = gpu_only_cost(net, f.scenario, f.gpu);
+  const auto isaac = isaac_like_cost(net, f.scenario, f.cfg, f.gpu);
+  EXPECT_DOUBLE_EQ(isaac.train_time_s, gpu_only.train_time_s);
+  EXPECT_DOUBLE_EQ(isaac.train_energy_j, gpu_only.train_energy_j);
+}
+
+TEST(RelatedWork, PipelayerTrainsFasterThanBothBaselines) {
+  Fixture f;
+  for (const auto& net : {workload::spec_lenet5(), workload::spec_alexnet()}) {
+    const auto gpu_only = gpu_only_cost(net, f.scenario, f.gpu);
+    const auto pipelayer = pipelayer_cost(net, f.scenario, f.cfg);
+    EXPECT_LT(pipelayer.train_time_s, gpu_only.train_time_s) << net.name;
+  }
+}
+
+TEST(RelatedWork, TotalOrderingMatchesPaperArgument) {
+  // PipeLayer <= ISAAC-like <= GPU-only on total time for a train+serve mix:
+  // the inference-only part helps, but training on-chip helps more.
+  Fixture f;
+  for (const auto& net : {workload::spec_lenet5(), workload::spec_alexnet()}) {
+    const auto gpu_only = gpu_only_cost(net, f.scenario, f.gpu);
+    const auto isaac = isaac_like_cost(net, f.scenario, f.cfg, f.gpu);
+    const auto pipelayer = pipelayer_cost(net, f.scenario, f.cfg);
+    EXPECT_LE(isaac.total_time_s(), gpu_only.total_time_s()) << net.name;
+    EXPECT_LE(pipelayer.total_time_s(), isaac.total_time_s()) << net.name;
+  }
+}
+
+TEST(RelatedWork, AdcReadoutCostsMoreInferenceEnergy) {
+  Fixture f;
+  const auto net = workload::spec_alexnet();
+  const auto isaac = isaac_like_cost(net, f.scenario, f.cfg, f.gpu);
+  const auto pipelayer = pipelayer_cost(net, f.scenario, f.cfg);
+  EXPECT_GT(isaac.infer_energy_j, pipelayer.infer_energy_j);
+}
+
+TEST(RelatedWork, InferenceHeavyMixNarrowsTheGap) {
+  // With almost no training in the mix, the ISAAC-like system approaches
+  // PipeLayer's total time (its remaining deficit is only conversion costs).
+  Fixture f;
+  const auto net = workload::spec_lenet5();
+  const Scenario train_heavy{64000, 640, 64};
+  const Scenario infer_heavy{640, 640000, 64};
+  const auto ratio = [&](const Scenario& s) {
+    return isaac_like_cost(net, s, f.cfg, f.gpu).total_time_s() /
+           pipelayer_cost(net, s, f.cfg).total_time_s();
+  };
+  EXPECT_LT(ratio(infer_heavy), ratio(train_heavy));
+}
+
+TEST(RelatedWork, EmptyScenarioThrows) {
+  Fixture f;
+  const auto net = workload::spec_lenet5();
+  EXPECT_THROW(gpu_only_cost(net, Scenario{0, 100, 64}, f.gpu), CheckError);
+}
+
+}  // namespace
+}  // namespace reramdl::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "circuit/crossbar.hpp"
+#include "common/check.hpp"
+#include "device/reliability.hpp"
+
+namespace reramdl {
+namespace {
+
+TEST(Endurance, LifetimeInverseInWriteRate) {
+  device::EnduranceModel m(device::EnduranceParams{1e9});
+  EXPECT_DOUBLE_EQ(m.lifetime_seconds(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(m.lifetime_seconds(1000.0), 1e6);
+}
+
+TEST(Endurance, LargerBatchExtendsTrainingLifetime) {
+  // The update cycle fires once per batch: at a fixed sample rate, a larger
+  // batch means fewer reprogram cycles per second — the architectural reason
+  // the paper accumulates updates over batches.
+  device::EnduranceModel m(device::EnduranceParams{1e9});
+  const double samples_per_second = 1e6;
+  const double life_b8 = m.training_lifetime_seconds(samples_per_second / 8);
+  const double life_b64 = m.training_lifetime_seconds(samples_per_second / 64);
+  EXPECT_NEAR(life_b64 / life_b8, 8.0, 1e-9);
+}
+
+TEST(Endurance, InvalidRateThrows) {
+  device::EnduranceModel m(device::EnduranceParams{});
+  EXPECT_THROW(m.lifetime_seconds(0.0), CheckError);
+}
+
+TEST(Retention, NoDriftBeforeT0) {
+  device::RetentionModel m(device::RetentionParams{0.01, 10.0});
+  EXPECT_DOUBLE_EQ(m.drift_factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.drift_factor(10.0), 1.0);
+}
+
+TEST(Retention, FactorDecreasesMonotonically) {
+  device::RetentionModel m(device::RetentionParams{0.02, 1.0});
+  double prev = 1.0;
+  for (double t : {2.0, 10.0, 3600.0, 86400.0, 2.6e6}) {
+    const double f = m.drift_factor(t);
+    EXPECT_LT(f, prev);
+    EXPECT_GT(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(Retention, ZeroNuMeansNoDrift) {
+  device::RetentionModel m(device::RetentionParams{0.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.drift_factor(1e9), 1.0);
+}
+
+TEST(Retention, PowerLawValue) {
+  device::RetentionModel m(device::RetentionParams{0.5, 1.0});
+  EXPECT_NEAR(m.drift_factor(4.0), 0.5, 1e-12);  // 4^-0.5
+}
+
+TEST(CrossbarDrift, ScalesOutputsMultiplicatively) {
+  circuit::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  circuit::Crossbar xbar(cfg);
+  Rng rng(3);
+  const Tensor w = Tensor::uniform(Shape{16, 16}, rng, 0.1f, 1.0f);
+  xbar.program(w, 1.0);
+  std::vector<float> x(16, 0.5f);
+  const auto fresh = xbar.compute(x, 1.0);
+  xbar.apply_drift(0.9);
+  const auto aged = xbar.compute(x, 1.0);
+  for (std::size_t j = 0; j < fresh.size(); ++j)
+    EXPECT_NEAR(aged[j], fresh[j] * 0.9f, 2e-2f);
+}
+
+TEST(CrossbarDrift, AccumulatesAcrossApplications) {
+  circuit::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  circuit::Crossbar xbar(cfg);
+  Rng rng(4);
+  const Tensor w = Tensor::uniform(Shape{8, 8}, rng, 0.1f, 1.0f);
+  xbar.program(w, 1.0);
+  std::vector<float> x(8, 1.0f);
+  const auto fresh = xbar.compute(x, 1.0);
+  xbar.apply_drift(0.8);
+  xbar.apply_drift(0.5);
+  const auto aged = xbar.compute(x, 1.0);
+  for (std::size_t j = 0; j < fresh.size(); ++j)
+    EXPECT_NEAR(aged[j], fresh[j] * 0.4f, 5e-2f);
+}
+
+TEST(CrossbarDrift, ReprogramRestoresFreshLevels) {
+  circuit::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  circuit::Crossbar xbar(cfg);
+  Rng rng(5);
+  const Tensor w = Tensor::uniform(Shape{8, 8}, rng, 0.1f, 1.0f);
+  xbar.program(w, 1.0);
+  std::vector<float> x(8, 1.0f);
+  const auto fresh = xbar.compute(x, 1.0);
+  xbar.apply_drift(0.5);
+  xbar.program(w, 1.0);  // refresh
+  const auto refreshed = xbar.compute(x, 1.0);
+  for (std::size_t j = 0; j < fresh.size(); ++j)
+    EXPECT_FLOAT_EQ(refreshed[j], fresh[j]);
+}
+
+TEST(CrossbarDrift, InvalidFactorThrows) {
+  circuit::CrossbarConfig cfg;
+  circuit::Crossbar xbar(cfg);
+  EXPECT_THROW(xbar.apply_drift(0.0), CheckError);
+  EXPECT_THROW(xbar.apply_drift(1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace reramdl

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::workload {
+namespace {
+
+TEST(Datasets, MnistLikeShapeAndLabels) {
+  Rng rng(1);
+  const Dataset d = make_mnist_like(32, rng);
+  EXPECT_EQ(d.images.shape(), Shape({32, 1, 28, 28}));
+  EXPECT_EQ(d.labels.size(), 32u);
+  EXPECT_EQ(d.num_classes, 10u);
+  for (const auto l : d.labels) EXPECT_LT(l, 10u);
+}
+
+TEST(Datasets, CifarLikeShape) {
+  Rng rng(2);
+  const Dataset d = make_cifar_like(8, rng);
+  EXPECT_EQ(d.images.shape(), Shape({8, 3, 32, 32}));
+}
+
+TEST(Datasets, PixelRangeIsUnitInterval) {
+  Rng rng(3);
+  const Dataset d = make_mnist_like(16, rng);
+  for (std::size_t i = 0; i < d.images.numel(); ++i) {
+    EXPECT_GE(d.images[i], 0.0f);
+    EXPECT_LE(d.images[i], 1.0f);
+  }
+}
+
+TEST(Datasets, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  const Dataset d1 = make_mnist_like(4, a);
+  const Dataset d2 = make_mnist_like(4, b);
+  EXPECT_EQ(d1.labels, d2.labels);
+  for (std::size_t i = 0; i < d1.images.numel(); ++i)
+    EXPECT_FLOAT_EQ(d1.images[i], d2.images[i]);
+}
+
+TEST(Datasets, ClassesAreSeparable) {
+  // Same-class samples must be closer (on average) than cross-class ones —
+  // otherwise the training experiments could not learn anything.
+  Rng rng(7);
+  const Dataset d = make_mnist_like(200, rng);
+  const std::size_t pix = 28 * 28;
+  double same = 0.0, cross = 0.0;
+  std::size_t n_same = 0, n_cross = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      double dist = 0.0;
+      for (std::size_t p = 0; p < pix; ++p) {
+        const double diff = d.images[i * pix + p] - d.images[j * pix + p];
+        dist += diff * diff;
+      }
+      if (d.labels[i] == d.labels[j]) {
+        same += dist;
+        ++n_same;
+      } else {
+        cross += dist;
+        ++n_cross;
+      }
+    }
+  }
+  ASSERT_GT(n_same, 0u);
+  ASSERT_GT(n_cross, 0u);
+  EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+TEST(Datasets, GanImagesInTanhRange) {
+  Rng rng(4);
+  const Tensor t = make_celeba_like(4, rng);
+  EXPECT_EQ(t.shape(), Shape({4, 3, 64, 64}));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LE(t[i], 1.0f);
+  }
+}
+
+TEST(Datasets, GanImagesHaveStructure) {
+  Rng rng(5);
+  const Tensor t = make_lsun_like(2, rng);
+  // Not constant: blobs create dynamic range.
+  float lo = 1.0f, hi = -1.0f;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    lo = std::min(lo, t[i]);
+    hi = std::max(hi, t[i]);
+  }
+  EXPECT_LT(lo, -0.5f);
+  EXPECT_GT(hi, 0.0f);
+}
+
+// ---- Spec zoo ---------------------------------------------------------------
+
+TEST(ModelZoo, MlpSpecsMatchPaperWidths) {
+  const auto a = spec_mlp_mnist_a();
+  EXPECT_EQ(a.weighted_layers(), 3u);
+  EXPECT_EQ(a.layers.back().out_c, 10u);
+  // 784*512 + 512*512 + 512*10
+  EXPECT_EQ(a.total_weights(), 784u * 512 + 512 * 512 + 512 * 10);
+  EXPECT_EQ(spec_mlp_mnist_b().weighted_layers(), 4u);
+  EXPECT_EQ(spec_mlp_mnist_c().weighted_layers(), 4u);
+}
+
+TEST(ModelZoo, LenetShapePropagation) {
+  const auto net = spec_lenet5();
+  // conv(6,k5,p2): 28 -> 28; pool2 -> 14; conv(16,k5): -> 10; pool2 -> 5.
+  const auto& conv2 = net.layers[3];
+  EXPECT_EQ(conv2.kind, nn::LayerKind::kConv);
+  EXPECT_EQ(conv2.out_h, 10u);
+  const auto& pool2 = net.layers[5];
+  EXPECT_EQ(pool2.kind, nn::LayerKind::kPool);
+  EXPECT_EQ(pool2.out_h, 5u);
+}
+
+TEST(ModelZoo, AlexNetDimsAndMacs) {
+  const auto net = spec_alexnet();
+  EXPECT_EQ(net.layers[0].out_h, 55u);   // (224+4-11)/4+1
+  EXPECT_EQ(net.weighted_layers(), 8u);  // 5 conv + 3 fc
+  // ~0.7 GMACs forward and ~61M weights for AlexNet-class nets.
+  EXPECT_GT(net.total_macs_per_sample(), 500u * 1000 * 1000);
+  EXPECT_LT(net.total_macs_per_sample(), 1500u * 1000 * 1000);
+  EXPECT_GT(net.total_weights(), 50u * 1000 * 1000);
+}
+
+TEST(ModelZoo, VggDeeperThanVggA) {
+  const auto a = spec_vgg_a();
+  const auto d = spec_vgg_d();
+  EXPECT_EQ(a.weighted_layers(), 11u);
+  EXPECT_EQ(d.weighted_layers(), 16u);
+  EXPECT_GT(d.total_macs_per_sample(), a.total_macs_per_sample());
+}
+
+class DcganSpecs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DcganSpecs, GeneratorEmitsImageSizedOutput) {
+  const std::size_t size = GetParam();
+  const auto g = spec_dcgan_generator(size);
+  const auto& last = g.layers.back();
+  EXPECT_EQ(last.out_h, size);
+  EXPECT_EQ(last.out_w, size);
+  EXPECT_EQ(last.out_c, size == 28 ? 1u : 3u);
+}
+
+TEST_P(DcganSpecs, DiscriminatorEndsInOneLogit) {
+  const auto d = spec_dcgan_discriminator(GetParam());
+  EXPECT_EQ(d.layers.back().out_size(), 1u);
+}
+
+TEST_P(DcganSpecs, GeneratorUsesFractionalStridedConvs) {
+  const auto g = spec_dcgan_generator(GetParam());
+  std::size_t tconvs = 0;
+  for (const auto& l : g.layers)
+    if (l.kind == nn::LayerKind::kTransposedConv) ++tconvs;
+  EXPECT_GE(tconvs, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DcganSpecs, ::testing::Values(28, 32, 64));
+
+TEST(ModelZoo, DcganTconvDoublesSpatialDims) {
+  const auto g = spec_dcgan_generator(64);
+  for (const auto& l : g.layers) {
+    if (l.kind == nn::LayerKind::kTransposedConv) {
+      EXPECT_EQ(l.out_h, 2 * l.in_h);
+    }
+  }
+}
+
+// ---- Functional zoo ----------------------------------------------------------
+
+TEST(FunctionalZoo, MlpForwardShape) {
+  Rng rng(6);
+  auto net = make_mlp_mnist(rng);
+  const Tensor x = Tensor::zeros(Shape{2, 1, 28, 28});
+  EXPECT_EQ(net.forward(x, false).shape(), Shape({2, 10}));
+}
+
+TEST(FunctionalZoo, LenetForwardShape) {
+  Rng rng(7);
+  auto net = make_lenet_small(rng);
+  const Tensor x = Tensor::zeros(Shape{2, 1, 28, 28});
+  EXPECT_EQ(net.forward(x, false).shape(), Shape({2, 10}));
+}
+
+TEST(FunctionalZoo, DcganGeneratorOutputsImages) {
+  Rng rng(8);
+  auto g = make_dcgan_g_mnist(rng, 32);
+  const Tensor z = Tensor::uniform(Shape{3, 32}, rng, -1.0f, 1.0f);
+  const Tensor img = g.forward(z, false);
+  EXPECT_EQ(img.shape(), Shape({3, 1, 28, 28}));
+  // tanh output range
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    EXPECT_GE(img[i], -1.0f);
+    EXPECT_LE(img[i], 1.0f);
+  }
+}
+
+TEST(FunctionalZoo, DcganDiscriminatorOutputsLogit) {
+  Rng rng(9);
+  auto d = make_dcgan_d_mnist(rng);
+  const Tensor x = Tensor::zeros(Shape{5, 1, 28, 28});
+  EXPECT_EQ(d.forward(x, false).shape(), Shape({5, 1}));
+}
+
+TEST(FunctionalZoo, SpecsMatchLiveNetworks) {
+  Rng rng(10);
+  auto net = make_lenet_small(rng);
+  const auto spec = net.specs("lenet-small", 1, 28, 28);
+  EXPECT_EQ(spec.layers.size(), net.num_layers());
+  EXPECT_EQ(spec.layers.back().out_c, 10u);
+  // Spec-predicted shape equals actual forward shape layer by layer.
+  const Tensor x = Tensor::zeros(Shape{1, 1, 28, 28});
+  const Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape()[1], spec.layers.back().out_size());
+}
+
+}  // namespace
+}  // namespace reramdl::workload
