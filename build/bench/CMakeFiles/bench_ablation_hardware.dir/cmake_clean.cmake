@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hardware.dir/bench_ablation_hardware.cpp.o"
+  "CMakeFiles/bench_ablation_hardware.dir/bench_ablation_hardware.cpp.o.d"
+  "bench_ablation_hardware"
+  "bench_ablation_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chip_sim.dir/bench_chip_sim.cpp.o"
+  "CMakeFiles/bench_chip_sim.dir/bench_chip_sim.cpp.o.d"
+  "bench_chip_sim"
+  "bench_chip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

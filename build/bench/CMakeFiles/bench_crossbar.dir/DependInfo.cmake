@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_crossbar.cpp" "bench/CMakeFiles/bench_crossbar.dir/bench_crossbar.cpp.o" "gcc" "bench/CMakeFiles/bench_crossbar.dir/bench_crossbar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/reramdl_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reramdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reramdl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

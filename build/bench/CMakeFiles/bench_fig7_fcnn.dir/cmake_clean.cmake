@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fcnn.dir/bench_fig7_fcnn.cpp.o"
+  "CMakeFiles/bench_fig7_fcnn.dir/bench_fig7_fcnn.cpp.o.d"
+  "bench_fig7_fcnn"
+  "bench_fig7_fcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sp_cs.dir/bench_fig9_sp_cs.cpp.o"
+  "CMakeFiles/bench_fig9_sp_cs.dir/bench_fig9_sp_cs.cpp.o.d"
+  "bench_fig9_sp_cs"
+  "bench_fig9_sp_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sp_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pipelayer.dir/bench_table1_pipelayer.cpp.o"
+  "CMakeFiles/bench_table1_pipelayer.dir/bench_table1_pipelayer.cpp.o.d"
+  "bench_table1_pipelayer"
+  "bench_table1_pipelayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pipelayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_regan.dir/bench_table1_regan.cpp.o"
+  "CMakeFiles/bench_table1_regan.dir/bench_table1_regan.cpp.o.d"
+  "bench_table1_regan"
+  "bench_table1_regan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_regan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

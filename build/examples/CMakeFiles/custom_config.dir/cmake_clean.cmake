@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_config.dir/custom_config.cpp.o"
+  "CMakeFiles/custom_config.dir/custom_config.cpp.o.d"
+  "custom_config"
+  "custom_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

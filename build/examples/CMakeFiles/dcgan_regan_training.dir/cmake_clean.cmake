@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcgan_regan_training.dir/dcgan_regan_training.cpp.o"
+  "CMakeFiles/dcgan_regan_training.dir/dcgan_regan_training.cpp.o.d"
+  "dcgan_regan_training"
+  "dcgan_regan_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcgan_regan_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

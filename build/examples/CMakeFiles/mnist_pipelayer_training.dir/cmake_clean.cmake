@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_pipelayer_training.dir/mnist_pipelayer_training.cpp.o"
+  "CMakeFiles/mnist_pipelayer_training.dir/mnist_pipelayer_training.cpp.o.d"
+  "mnist_pipelayer_training"
+  "mnist_pipelayer_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_pipelayer_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

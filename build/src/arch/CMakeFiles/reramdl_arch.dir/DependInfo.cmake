@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/bank.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/bank.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/bank.cpp.o.d"
+  "/root/repo/src/arch/chip_sim.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/chip_sim.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/chip_sim.cpp.o.d"
+  "/root/repo/src/arch/controller.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/controller.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/controller.cpp.o.d"
+  "/root/repo/src/arch/energy.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/energy.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/energy.cpp.o.d"
+  "/root/repo/src/arch/isa.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/isa.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/isa.cpp.o.d"
+  "/root/repo/src/arch/lowering.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/lowering.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/lowering.cpp.o.d"
+  "/root/repo/src/arch/noc.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/noc.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/noc.cpp.o.d"
+  "/root/repo/src/arch/params.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/params.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/params.cpp.o.d"
+  "/root/repo/src/arch/placement.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/placement.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/placement.cpp.o.d"
+  "/root/repo/src/arch/subarray.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/subarray.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/subarray.cpp.o.d"
+  "/root/repo/src/arch/update_model.cpp" "src/arch/CMakeFiles/reramdl_arch.dir/update_model.cpp.o" "gcc" "src/arch/CMakeFiles/reramdl_arch.dir/update_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/reramdl_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reramdl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reramdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_arch.dir/bank.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/bank.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/chip_sim.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/chip_sim.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/controller.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/controller.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/energy.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/energy.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/isa.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/isa.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/lowering.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/lowering.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/noc.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/noc.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/params.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/params.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/placement.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/placement.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/subarray.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/subarray.cpp.o.d"
+  "CMakeFiles/reramdl_arch.dir/update_model.cpp.o"
+  "CMakeFiles/reramdl_arch.dir/update_model.cpp.o.d"
+  "libreramdl_arch.a"
+  "libreramdl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

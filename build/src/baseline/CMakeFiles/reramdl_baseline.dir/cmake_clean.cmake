@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_baseline.dir/gpu_model.cpp.o"
+  "CMakeFiles/reramdl_baseline.dir/gpu_model.cpp.o.d"
+  "libreramdl_baseline.a"
+  "libreramdl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

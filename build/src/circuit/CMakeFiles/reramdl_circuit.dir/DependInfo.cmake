@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/activation_lut.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/activation_lut.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/activation_lut.cpp.o.d"
+  "/root/repo/src/circuit/adc.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/adc.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/adc.cpp.o.d"
+  "/root/repo/src/circuit/crossbar.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/crossbar.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/crossbar.cpp.o.d"
+  "/root/repo/src/circuit/crossbar_grid.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/crossbar_grid.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/crossbar_grid.cpp.o.d"
+  "/root/repo/src/circuit/integrate_fire.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/integrate_fire.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/integrate_fire.cpp.o.d"
+  "/root/repo/src/circuit/maxpool_register.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/maxpool_register.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/maxpool_register.cpp.o.d"
+  "/root/repo/src/circuit/spike_driver.cpp" "src/circuit/CMakeFiles/reramdl_circuit.dir/spike_driver.cpp.o" "gcc" "src/circuit/CMakeFiles/reramdl_circuit.dir/spike_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/reramdl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

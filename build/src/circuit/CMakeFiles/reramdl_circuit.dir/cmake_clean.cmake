@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_circuit.dir/activation_lut.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/activation_lut.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/adc.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/adc.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/crossbar.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/crossbar.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/crossbar_grid.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/crossbar_grid.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/integrate_fire.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/integrate_fire.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/maxpool_register.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/maxpool_register.cpp.o.d"
+  "CMakeFiles/reramdl_circuit.dir/spike_driver.cpp.o"
+  "CMakeFiles/reramdl_circuit.dir/spike_driver.cpp.o.d"
+  "libreramdl_circuit.a"
+  "libreramdl_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_common.dir/csv.cpp.o"
+  "CMakeFiles/reramdl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/reramdl_common.dir/rng.cpp.o"
+  "CMakeFiles/reramdl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/reramdl_common.dir/stats.cpp.o"
+  "CMakeFiles/reramdl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/reramdl_common.dir/table.cpp.o"
+  "CMakeFiles/reramdl_common.dir/table.cpp.o.d"
+  "libreramdl_common.a"
+  "libreramdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

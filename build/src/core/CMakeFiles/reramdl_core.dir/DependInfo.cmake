@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator_config.cpp" "src/core/CMakeFiles/reramdl_core.dir/accelerator_config.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/accelerator_config.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/reramdl_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/reramdl_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/functional.cpp" "src/core/CMakeFiles/reramdl_core.dir/functional.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/functional.cpp.o.d"
+  "/root/repo/src/core/pipelayer.cpp" "src/core/CMakeFiles/reramdl_core.dir/pipelayer.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/pipelayer.cpp.o.d"
+  "/root/repo/src/core/regan.cpp" "src/core/CMakeFiles/reramdl_core.dir/regan.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/regan.cpp.o.d"
+  "/root/repo/src/core/related_work.cpp" "src/core/CMakeFiles/reramdl_core.dir/related_work.cpp.o" "gcc" "src/core/CMakeFiles/reramdl_core.dir/related_work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/reramdl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/reramdl_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/reramdl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/reramdl_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/reramdl_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reramdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reramdl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_core.dir/accelerator_config.cpp.o"
+  "CMakeFiles/reramdl_core.dir/accelerator_config.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/comparison.cpp.o"
+  "CMakeFiles/reramdl_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/config_io.cpp.o"
+  "CMakeFiles/reramdl_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/functional.cpp.o"
+  "CMakeFiles/reramdl_core.dir/functional.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/pipelayer.cpp.o"
+  "CMakeFiles/reramdl_core.dir/pipelayer.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/regan.cpp.o"
+  "CMakeFiles/reramdl_core.dir/regan.cpp.o.d"
+  "CMakeFiles/reramdl_core.dir/related_work.cpp.o"
+  "CMakeFiles/reramdl_core.dir/related_work.cpp.o.d"
+  "libreramdl_core.a"
+  "libreramdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/quantizer.cpp" "src/device/CMakeFiles/reramdl_device.dir/quantizer.cpp.o" "gcc" "src/device/CMakeFiles/reramdl_device.dir/quantizer.cpp.o.d"
+  "/root/repo/src/device/reliability.cpp" "src/device/CMakeFiles/reramdl_device.dir/reliability.cpp.o" "gcc" "src/device/CMakeFiles/reramdl_device.dir/reliability.cpp.o.d"
+  "/root/repo/src/device/reram_cell.cpp" "src/device/CMakeFiles/reramdl_device.dir/reram_cell.cpp.o" "gcc" "src/device/CMakeFiles/reramdl_device.dir/reram_cell.cpp.o.d"
+  "/root/repo/src/device/variation.cpp" "src/device/CMakeFiles/reramdl_device.dir/variation.cpp.o" "gcc" "src/device/CMakeFiles/reramdl_device.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_device.dir/quantizer.cpp.o"
+  "CMakeFiles/reramdl_device.dir/quantizer.cpp.o.d"
+  "CMakeFiles/reramdl_device.dir/reliability.cpp.o"
+  "CMakeFiles/reramdl_device.dir/reliability.cpp.o.d"
+  "CMakeFiles/reramdl_device.dir/reram_cell.cpp.o"
+  "CMakeFiles/reramdl_device.dir/reram_cell.cpp.o.d"
+  "CMakeFiles/reramdl_device.dir/variation.cpp.o"
+  "CMakeFiles/reramdl_device.dir/variation.cpp.o.d"
+  "libreramdl_device.a"
+  "libreramdl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

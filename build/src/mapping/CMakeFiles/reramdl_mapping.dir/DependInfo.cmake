@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/kernel_flatten.cpp" "src/mapping/CMakeFiles/reramdl_mapping.dir/kernel_flatten.cpp.o" "gcc" "src/mapping/CMakeFiles/reramdl_mapping.dir/kernel_flatten.cpp.o.d"
+  "/root/repo/src/mapping/layer_mapping.cpp" "src/mapping/CMakeFiles/reramdl_mapping.dir/layer_mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/reramdl_mapping.dir/layer_mapping.cpp.o.d"
+  "/root/repo/src/mapping/planner.cpp" "src/mapping/CMakeFiles/reramdl_mapping.dir/planner.cpp.o" "gcc" "src/mapping/CMakeFiles/reramdl_mapping.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/reramdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_mapping.dir/kernel_flatten.cpp.o"
+  "CMakeFiles/reramdl_mapping.dir/kernel_flatten.cpp.o.d"
+  "CMakeFiles/reramdl_mapping.dir/layer_mapping.cpp.o"
+  "CMakeFiles/reramdl_mapping.dir/layer_mapping.cpp.o.d"
+  "CMakeFiles/reramdl_mapping.dir/planner.cpp.o"
+  "CMakeFiles/reramdl_mapping.dir/planner.cpp.o.d"
+  "libreramdl_mapping.a"
+  "libreramdl_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

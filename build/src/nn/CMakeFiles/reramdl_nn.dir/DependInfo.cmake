@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/gan.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/gan.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/gan.cpp.o.d"
+  "/root/repo/src/nn/layer_spec.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/layer_spec.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/layer_spec.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/transposed_conv2d.cpp" "src/nn/CMakeFiles/reramdl_nn.dir/transposed_conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/reramdl_nn.dir/transposed_conv2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_nn.dir/activations.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/dense.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/gan.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/gan.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/layer_spec.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/layer_spec.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/loss.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/pooling.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/trainer.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/reramdl_nn.dir/transposed_conv2d.cpp.o"
+  "CMakeFiles/reramdl_nn.dir/transposed_conv2d.cpp.o.d"
+  "libreramdl_nn.a"
+  "libreramdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_pipeline.dir/analytic.cpp.o"
+  "CMakeFiles/reramdl_pipeline.dir/analytic.cpp.o.d"
+  "CMakeFiles/reramdl_pipeline.dir/sim.cpp.o"
+  "CMakeFiles/reramdl_pipeline.dir/sim.cpp.o.d"
+  "libreramdl_pipeline.a"
+  "libreramdl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

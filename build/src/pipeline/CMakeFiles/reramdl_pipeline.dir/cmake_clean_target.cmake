@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreramdl_pipeline.a"
+)

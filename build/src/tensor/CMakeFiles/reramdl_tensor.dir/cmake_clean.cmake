@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/reramdl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/reramdl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/reramdl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/reramdl_tensor.dir/shape.cpp.o"
+  "CMakeFiles/reramdl_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/reramdl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/reramdl_tensor.dir/tensor.cpp.o.d"
+  "libreramdl_tensor.a"
+  "libreramdl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

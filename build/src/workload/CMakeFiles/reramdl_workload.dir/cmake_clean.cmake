@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reramdl_workload.dir/datasets.cpp.o"
+  "CMakeFiles/reramdl_workload.dir/datasets.cpp.o.d"
+  "CMakeFiles/reramdl_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/reramdl_workload.dir/model_zoo.cpp.o.d"
+  "libreramdl_workload.a"
+  "libreramdl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reramdl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_test.dir/adc_test.cpp.o"
+  "CMakeFiles/adc_test.dir/adc_test.cpp.o.d"
+  "adc_test"
+  "adc_test.pdb"
+  "adc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_sim_test.dir/chip_sim_test.cpp.o"
+  "CMakeFiles/chip_sim_test.dir/chip_sim_test.cpp.o.d"
+  "chip_sim_test"
+  "chip_sim_test.pdb"
+  "chip_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

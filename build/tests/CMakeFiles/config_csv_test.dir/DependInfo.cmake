@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_csv_test.cpp" "tests/CMakeFiles/config_csv_test.dir/config_csv_test.cpp.o" "gcc" "tests/CMakeFiles/config_csv_test.dir/config_csv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reramdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/reramdl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/reramdl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/reramdl_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/reramdl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/reramdl_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/reramdl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/reramdl_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reramdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reramdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reramdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

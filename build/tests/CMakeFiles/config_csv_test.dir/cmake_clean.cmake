@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_csv_test.dir/config_csv_test.cpp.o"
+  "CMakeFiles/config_csv_test.dir/config_csv_test.cpp.o.d"
+  "config_csv_test"
+  "config_csv_test.pdb"
+  "config_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im2col_test.dir/im2col_test.cpp.o"
+  "CMakeFiles/im2col_test.dir/im2col_test.cpp.o.d"
+  "im2col_test"
+  "im2col_test.pdb"
+  "im2col_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im2col_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
