@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace reramdl::arch {
 
@@ -29,27 +30,41 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
   ChipRunReport report;
   const auto by_bank = layers_by_bank();
 
+  // Banks are independent machines (own Bank model, own controller, own
+  // lowered program), exactly the concurrency the chip exploits in hardware
+  // — so simulate them concurrently too. Per-bank reports land in a vector
+  // indexed by bank id and merge serially below in ascending bank order,
+  // keeping the chip report identical for any RERAMDL_THREADS.
+  std::vector<ExecutionReport> bank_reports(by_bank.size());
+  std::vector<char> bank_active(by_bank.size(), 0);
+  parallel::parallel_for(0, by_bank.size(), 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t bank_id = b0; bank_id < b1; ++bank_id) {
+      if (by_bank[bank_id].empty()) continue;
+
+      // This bank's share of the network, lowered and executed in place.
+      mapping::NetworkMapping local;
+      local.config = mapping_.config;
+      for (const std::size_t idx : by_bank[bank_id])
+        local.layers.push_back(mapping_.layers[idx]);
+
+      // Programs address banks by their controller id; reuse the physical
+      // bank id modulo the ISA's 6-bit field.
+      const std::size_t isa_bank = bank_id % 64;
+      const auto program =
+          training ? lower_training_batch(local, chip_, isa_bank, batch)
+                   : lower_forward_pass(local, chip_, isa_bank);
+
+      Bank bank(chip_, isa_bank);
+      BankController controller(bank);
+      bank_reports[bank_id] = controller.run(program);
+      bank_active[bank_id] = 1;
+    }
+  });
+
   for (std::size_t bank_id = 0; bank_id < by_bank.size(); ++bank_id) {
-    if (by_bank[bank_id].empty()) continue;
+    if (!bank_active[bank_id]) continue;
     ++report.banks_used;
-
-    // This bank's share of the network, lowered and executed in place.
-    mapping::NetworkMapping local;
-    local.config = mapping_.config;
-    for (const std::size_t idx : by_bank[bank_id])
-      local.layers.push_back(mapping_.layers[idx]);
-
-    // Programs address banks by their controller id; reuse the physical
-    // bank id modulo the ISA's 6-bit field.
-    const std::size_t isa_bank = bank_id % 64;
-    const auto program =
-        training ? lower_training_batch(local, chip_, isa_bank, batch)
-                 : lower_forward_pass(local, chip_, isa_bank);
-
-    Bank bank(chip_, isa_bank);
-    BankController controller(bank);
-    const ExecutionReport r = controller.run(program);
-
+    const ExecutionReport& r = bank_reports[bank_id];
     report.instructions += r.instructions;
     report.total_bank_ns += r.busy_ns;
     report.critical_bank_ns = std::max(report.critical_bank_ns, r.busy_ns);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace reramdl::circuit {
 
@@ -39,17 +40,30 @@ std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
                                          double x_max) {
   RERAMDL_CHECK_EQ(x.size(), total_rows_);
   RERAMDL_CHECK(!arrays_.empty());
+
+  // Every (row_tile, col_tile) partial-sum MVM is independent — each tile is
+  // its own Crossbar with its own stats — so they dispatch to the pool as a
+  // flat tile index. The vertical add below runs serially afterwards in a
+  // fixed row-tile-ascending order (the paper's horizontal-collect /
+  // vertical-add of Fig. 3), keeping the result bit-identical for any
+  // thread count.
+  std::vector<std::vector<float>> partials(arrays_.size());
+  parallel::parallel_for(0, arrays_.size(), 1, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t rt = t / col_tiles_;
+      const std::size_t r0 = rt * config_.rows;
+      const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
+      const std::vector<float> xin(x.begin() + static_cast<long>(r0),
+                                   x.begin() + static_cast<long>(r1));
+      partials[t] = arrays_[t].compute(xin, x_max);
+    }
+  });
+
   std::vector<float> y(total_cols_, 0.0f);
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
-    const std::size_t r0 = rt * config_.rows;
-    const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
-    const std::vector<float> xin(x.begin() + static_cast<long>(r0),
-                                 x.begin() + static_cast<long>(r1));
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::size_t c0 = ct * config_.cols;
-      auto& xbar = arrays_[rt * col_tiles_ + ct];
-      const std::vector<float> partial = xbar.compute(xin, x_max);
-      // Vertical summation of the horizontally collected partial results.
+      const std::vector<float>& partial = partials[rt * col_tiles_ + ct];
       for (std::size_t j = 0; j < partial.size(); ++j) y[c0 + j] += partial[j];
     }
   }

@@ -18,7 +18,9 @@ class CrossbarGrid {
   void program(const Tensor& weights, double w_max,
                device::VariationModel* variation = nullptr);
 
-  // y[C] = W^T-free MVM: x has R entries.
+  // y[C] = W^T-free MVM: x has R entries. Tile MVMs dispatch to the shared
+  // thread pool (common/parallel.hpp); partial sums are combined serially in
+  // row-tile order, so results are bit-identical for any RERAMDL_THREADS.
   std::vector<float> compute(const std::vector<float>& x, double x_max);
 
   // Age every array (retention drift).

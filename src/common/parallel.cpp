@@ -1,0 +1,247 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace reramdl::parallel {
+
+namespace {
+
+thread_local bool tls_in_region = false;
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("RERAMDL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+// One in-flight job: chunks are claimed with an atomic cursor so idle
+// workers and the submitting thread drain the same queue.
+struct Job {
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+  std::size_t end = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void run_chunk(std::size_t c) {
+    const std::size_t b = begin + c * grain;
+    const std::size_t e = std::min(end, b + grain);
+    try {
+      (*body)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!error) error = std::current_exception();
+    }
+    done.fetch_add(1, std::memory_order_acq_rel);
+  }
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t workers() const { return threads_.size(); }
+
+  // Runs the job to completion; the calling thread participates.
+  void run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+    }
+    cv_.notify_all();
+    drain(*job);
+    // Wait for chunks claimed by workers that are still executing.
+    while (job->done.load(std::memory_order_acquire) < job->num_chunks)
+      std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == job) job_.reset();
+    }
+  }
+
+ private:
+  static void drain(Job& job) {
+    for (;;) {
+      const std::size_t c = job.next.fetch_add(1, std::memory_order_acq_rel);
+      if (c >= job.num_chunks) break;
+      job.run_chunk(c);
+    }
+  }
+
+  void worker_loop() {
+    tls_in_region = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] {
+          return stop_ ||
+                 (job_ && job_->next.load(std::memory_order_acquire) <
+                              job_->num_chunks);
+        });
+        if (stop_) return;
+        job = job_;
+      }
+      if (job) drain(*job);
+      // Back off until the submitter clears the finished job.
+      std::this_thread::yield();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
+
+struct PoolState {
+  std::mutex mu;                    // guards pool (re)creation and submission
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<std::size_t> threads{0};  // 0 = not yet resolved
+};
+
+PoolState& state() {
+  static PoolState* s = new PoolState;  // leaked: workers may outlive main
+  return *s;
+}
+
+std::size_t resolved_thread_count() {
+  auto& s = state();
+  std::size_t t = s.threads.load(std::memory_order_acquire);
+  if (t == 0) {
+    t = env_thread_count();
+    s.threads.store(t, std::memory_order_release);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::size_t thread_count() { return resolved_thread_count(); }
+
+void set_thread_count(std::size_t n) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.threads.store(n == 0 ? env_thread_count() : n, std::memory_order_release);
+  // Drop the old pool; the next parallel region rebuilds it at the new size.
+  s.pool.reset();
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t range = end - begin;
+  const std::size_t num_chunks = (range + grain - 1) / grain;
+  const std::size_t threads = resolved_thread_count();
+
+  // Serial paths: pool disabled, a single chunk, or a nested call from a
+  // worker thread (running inline avoids deadlock and oversubscription).
+  if (threads <= 1 || num_chunks == 1 || tls_in_region) {
+    const bool was_in_region = tls_in_region;
+    tls_in_region = true;
+    try {
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t b = begin + c * grain;
+        body(b, std::min(end, b + grain));
+      }
+    } catch (...) {
+      tls_in_region = was_in_region;
+      throw;
+    }
+    tls_in_region = was_in_region;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->body = &body;
+
+  auto& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (!s.pool || s.pool->workers() + 1 != threads) {
+    s.pool.reset();  // join old workers before spawning the new set
+    if (threads > 1) s.pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  ThreadPool* pool = s.pool.get();
+  if (pool == nullptr) {  // threads changed to 1 under the lock
+    lock.unlock();
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      body(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  // Hold the submission lock for the whole job: one job at a time keeps the
+  // worker protocol simple, and concurrent top-level parallel_for callers
+  // just serialize.
+  const bool was_in_region = tls_in_region;
+  tls_in_region = true;
+  pool->run(job);
+  tls_in_region = was_in_region;
+  lock.unlock();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+double parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                       double identity,
+                       const std::function<double(std::size_t, std::size_t)>& map,
+                       const std::function<double(double, double)>& join) {
+  if (end <= begin) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t range = end - begin;
+  const std::size_t num_chunks = (range + grain - 1) / grain;
+
+  std::vector<double> partials(num_chunks, identity);
+  parallel_for(begin, end, grain,
+               [&](std::size_t b, std::size_t e) {
+                 partials[(b - begin) / grain] = map(b, e);
+               });
+
+  // Fixed left-to-right binary tree: identical association for every thread
+  // count, so the reduction is bit-reproducible.
+  std::vector<double> level = std::move(partials);
+  while (level.size() > 1) {
+    std::vector<double> up((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < up.size(); ++i) {
+      const std::size_t l = 2 * i, r = 2 * i + 1;
+      up[i] = r < level.size() ? join(level[l], level[r]) : level[l];
+    }
+    level = std::move(up);
+  }
+  return level[0];
+}
+
+}  // namespace reramdl::parallel

@@ -1,0 +1,58 @@
+// Host-parallel execution engine: a lazily-initialized shared thread pool
+// with deterministic work decomposition.
+//
+// Determinism contract: the chunk decomposition of a [begin, end) range
+// depends only on (begin, end, grain) — never on the thread count — and
+// parallel_reduce joins per-chunk partials in a fixed left-to-right tree
+// order. A kernel whose chunks write disjoint outputs therefore produces
+// bit-identical results for any RERAMDL_THREADS setting, which the tier-1
+// tests rely on for reproducibility.
+//
+// Sizing: RERAMDL_THREADS in the environment sets the worker count
+// (default: std::thread::hardware_concurrency). A value of 1 disables the
+// pool entirely — every parallel_for runs inline on the calling thread.
+// set_thread_count() overrides the environment at runtime (used by the
+// scaling bench and the determinism tests to sweep thread counts in one
+// process).
+//
+// Nested parallel_for calls (a chunk body that itself calls parallel_for)
+// execute the inner loop serially on the worker thread — no deadlock, no
+// oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace reramdl::parallel {
+
+// Current target thread count (>= 1). First call reads RERAMDL_THREADS.
+std::size_t thread_count();
+
+// Override the thread count; 0 restores the environment/hardware default.
+// Resizes the shared pool on the next parallel region.
+void set_thread_count(std::size_t n);
+
+// Splits [begin, end) into ceil(range / grain) chunks of at most `grain`
+// iterations and invokes body(chunk_begin, chunk_end) for each, in parallel
+// when the pool is enabled. Chunk boundaries depend only on the range and
+// grain. Safe with empty ranges (no-op) and grain > range (one chunk);
+// grain == 0 is treated as 1. Exceptions thrown by the body are rethrown on
+// the calling thread (first one wins).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+// Deterministic reduction: maps each chunk to a partial with
+// map(chunk_begin, chunk_end), then combines the partials with join() in a
+// fixed left-to-right binary-tree order that is identical for every thread
+// count. Returns `identity` for an empty range.
+double parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                       double identity,
+                       const std::function<double(std::size_t, std::size_t)>& map,
+                       const std::function<double(double, double)>& join);
+
+// True while the calling thread is executing inside a pool worker (used to
+// serialize nested parallel regions).
+bool in_parallel_region();
+
+}  // namespace reramdl::parallel

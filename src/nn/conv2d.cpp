@@ -1,6 +1,7 @@
 #include "nn/conv2d.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace reramdl::nn {
@@ -14,10 +15,12 @@ Tensor rows_to_nchw(const Tensor& rows, std::size_t n, std::size_t out_c,
   Tensor y(Shape{n, out_c, oh, ow});
   const float* pr = rows.data();
   float* py = y.data();
-  for (std::size_t s = 0; s < n; ++s)
-    for (std::size_t p = 0; p < oh * ow; ++p)
-      for (std::size_t c = 0; c < out_c; ++c)
-        py[(s * out_c + c) * oh * ow + p] = pr[(s * oh * ow + p) * out_c + c];
+  parallel::parallel_for(0, n, 1, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s)
+      for (std::size_t p = 0; p < oh * ow; ++p)
+        for (std::size_t c = 0; c < out_c; ++c)
+          py[(s * out_c + c) * oh * ow + p] = pr[(s * oh * ow + p) * out_c + c];
+  });
   return y;
 }
 
@@ -28,10 +31,12 @@ Tensor nchw_to_rows(const Tensor& x) {
   Tensor rows(Shape{n * oh * ow, c});
   const float* px = x.data();
   float* pr = rows.data();
-  for (std::size_t s = 0; s < n; ++s)
-    for (std::size_t ch = 0; ch < c; ++ch)
-      for (std::size_t p = 0; p < oh * ow; ++p)
-        pr[(s * oh * ow + p) * c + ch] = px[(s * c + ch) * oh * ow + p];
+  parallel::parallel_for(0, n, 1, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s)
+      for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t p = 0; p < oh * ow; ++p)
+          pr[(s * oh * ow + p) * c + ch] = px[(s * c + ch) * oh * ow + p];
+  });
   return rows;
 }
 

@@ -26,6 +26,9 @@ class Conv2D : public Layer {
   const Tensor& weights() const { return w_; }
   Tensor& bias() { return b_; }
 
+  // Replace the im2col GEMM (e.g. with a crossbar evaluation). The injected
+  // fn must be thread-safe (see MatmulFn in dense.hpp); the default is the
+  // blocked parallel ops::matmul.
   void set_forward_matmul(MatmulFn fn) { matmul_fn_ = std::move(fn); }
 
   const ConvGeometry& geometry() const { return geom_; }

@@ -10,8 +10,12 @@
 namespace reramdl::nn {
 
 // Hook type that computes rows x weights ([m,k] x [k,n] -> [m,n]). The
-// accelerator installs a crossbar-backed implementation; the default is the
-// exact float matmul.
+// accelerator installs a crossbar-backed implementation; the default path is
+// the cache-blocked, pool-parallel ops::matmul kernel (tensor/ops.hpp).
+// Injected implementations MUST be thread-safe: layers may themselves be
+// evaluated from pool workers (e.g. concurrent bank simulation), and the
+// default kernels already fan work out to the shared thread pool, so a hook
+// that mutates shared state without synchronization races.
 using MatmulFn = std::function<Tensor(const Tensor& rows, const Tensor& weights)>;
 
 class Dense : public Layer {
@@ -29,6 +33,8 @@ class Dense : public Layer {
   Tensor& bias() { return b_; }
 
   // Replace the forward matrix product (e.g. with a crossbar evaluation).
+  // The injected fn must be thread-safe (see MatmulFn); the default is the
+  // blocked parallel ops::matmul.
   void set_forward_matmul(MatmulFn fn) { matmul_fn_ = std::move(fn); }
 
   std::size_t in_features() const { return in_; }

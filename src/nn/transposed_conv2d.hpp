@@ -26,6 +26,8 @@ class TransposedConv2D : public Layer {
 
   Tensor& weights() { return w_; }
   Tensor& bias() { return b_; }
+  // Injected fn must be thread-safe (see MatmulFn in dense.hpp); the
+  // default is the blocked parallel ops::matmul.
   void set_forward_matmul(MatmulFn fn) { matmul_fn_ = std::move(fn); }
 
   std::size_t out_h() const { return dilated_geom_.out_h(); }

@@ -1,6 +1,7 @@
 #include "tensor/im2col.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace reramdl {
 
@@ -27,8 +28,13 @@ Tensor im2col(const Tensor& x, const ConvGeometry& g) {
   const float* px = x.data();
   float* pc = cols.data();
   const std::size_t img = g.in_c * g.in_h * g.in_w;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
+  // Each output patch row is written by exactly one (s, oy) pair, so the
+  // sample-row loop parallelizes over disjoint row blocks of `cols`.
+  parallel::parallel_for(0, n * oh, 8, [&](std::size_t r0, std::size_t r1) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t s = r / oh;
+    const std::size_t oy = r % oh;
+    {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float* row = pc + ((s * oh + oy) * ow + ox) * psz;
         for (std::size_t c = 0; c < g.in_c; ++c) {
@@ -52,6 +58,7 @@ Tensor im2col(const Tensor& x, const ConvGeometry& g) {
       }
     }
   }
+  });
   return cols;
 }
 
@@ -66,7 +73,11 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
   const float* pc = cols.data();
   float* px = x.data();
   const std::size_t img = g.in_c * g.in_h * g.in_w;
-  for (std::size_t s = 0; s < batch; ++s) {
+  // Patches of one sample overlap in the output image (stride < kernel), so
+  // the scatter-add only parallelizes across samples; per-sample
+  // accumulation order is unchanged, keeping results exact.
+  parallel::parallel_for(0, batch, 1, [&](std::size_t s0, std::size_t s1) {
+  for (std::size_t s = s0; s < s1; ++s) {
     for (std::size_t oy = 0; oy < oh; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         const float* row = pc + ((s * oh + oy) * ow + ox) * psz;
@@ -87,6 +98,7 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
       }
     }
   }
+  });
   return x;
 }
 

@@ -1,8 +1,25 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace reramdl::ops {
+
+namespace {
+
+// Cache-blocking parameters shared by the three matmul variants. The M x N
+// output is tiled; each (row-block, col-block) tile accumulates over K in
+// panels through a local double buffer, so every product sums in double in
+// a fixed k-ascending order — bit-identical for any thread count, since the
+// row-block decomposition depends only on the shapes.
+constexpr std::size_t kBlockM = 32;
+constexpr std::size_t kBlockN = 128;
+constexpr std::size_t kBlockK = 256;
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
@@ -13,15 +30,31 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
+    std::vector<double> acc(kBlockM * kBlockN);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t j1 = std::min(j0 + kBlockN, n);
+      const std::size_t bn = j1 - j0;
+      std::fill(acc.begin(), acc.begin() + (i1 - i0) * bn, 0.0);
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::size_t p1 = std::min(p0 + kBlockK, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          double* arow = acc.data() + (i - i0) * bn;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const double av = pa[i * k + p];
+            if (av == 0.0) continue;
+            const float* brow = pb + p * n + j0;
+            for (std::size_t j = 0; j < bn; ++j) arow[j] += av * brow[j];
+          }
+        }
+      }
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = acc.data() + (i - i0) * bn;
+        float* crow = pc + i * n + j0;
+        for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -34,15 +67,23 @@ Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* arow = pa + i * k;
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      pc[i * n + j] = static_cast<float>(acc);
+  // Both operands are traversed along contiguous k-rows; blocking over j
+  // keeps a panel of B rows hot while a row block of A streams through.
+  parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t j1 = std::min(j0 + kBlockN, n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float* brow = pb + j * k;
+          double dot = 0.0;
+          for (std::size_t p = 0; p < k; ++p)
+            dot += static_cast<double>(arow[p]) * brow[p];
+          pc[i * n + j] = static_cast<float>(dot);
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -55,16 +96,32 @@ Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = pc + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // C rows are indexed by A's k dimension, so parallelizing over k-row
+  // blocks keeps output writes disjoint; the i (reduction) loop stays
+  // ascending inside each block for a fixed double-accumulation order.
+  parallel::parallel_for(0, k, kBlockM, [&](std::size_t p0, std::size_t p1) {
+    std::vector<double> acc(kBlockM * kBlockN);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t j1 = std::min(j0 + kBlockN, n);
+      const std::size_t bn = j1 - j0;
+      std::fill(acc.begin(), acc.begin() + (p1 - p0) * bn, 0.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        const float* brow = pb + i * n + j0;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          double* crow = acc.data() + (p - p0) * bn;
+          for (std::size_t j = 0; j < bn; ++j) crow[j] += av * brow[j];
+        }
+      }
+      for (std::size_t p = p0; p < p1; ++p) {
+        const double* arow = acc.data() + (p - p0) * bn;
+        float* crow = pc + p * n + j0;
+        for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -75,8 +132,10 @@ void add_row_bias(Tensor& x, const Tensor& bias) {
   RERAMDL_CHECK_EQ(bias.shape()[0], n);
   float* px = x.data();
   const float* pb = bias.data();
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) px[i * n + j] += pb[j];
+  parallel::parallel_for(0, m, 64, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i)
+      for (std::size_t j = 0; j < n; ++j) px[i * n + j] += pb[j];
+  });
 }
 
 Tensor column_sums(const Tensor& x) {
@@ -93,8 +152,12 @@ Tensor transpose(const Tensor& x) {
   RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
   const std::size_t m = x.shape()[0], n = x.shape()[1];
   Tensor t(Shape{n, m});
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) t.data()[j * m + i] = x.data()[i * n + j];
+  const float* px = x.data();
+  float* pt = t.data();
+  parallel::parallel_for(0, m, 64, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i)
+      for (std::size_t j = 0; j < n; ++j) pt[j * m + i] = px[i * n + j];
+  });
   return t;
 }
 

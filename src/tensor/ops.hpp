@@ -1,6 +1,12 @@
 // Dense linear-algebra kernels for the NN library. These are the float
 // reference implementations; the crossbar path in src/circuit computes the
 // same contractions through quantized conductances.
+//
+// All three matmul variants are cache-blocked (M x N tiles with a K-panel
+// inner kernel), accumulate partial products in double, and parallelize over
+// output row blocks via common/parallel.hpp. Results are bit-identical for
+// every RERAMDL_THREADS setting: the block decomposition depends only on the
+// shapes and each block sums in a fixed k-ascending order.
 #pragma once
 
 #include "tensor/tensor.hpp"
