@@ -30,6 +30,7 @@
 #include "common/table.hpp"
 #include "mapping/planner.hpp"
 #include "nn/conv2d.hpp"
+#include "obs/json_writer.hpp"
 #include "tensor/ops.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -261,27 +262,39 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot open " << out_path << " for writing\n";
     return 2;
   }
-  json << "{\n"
-       << "  \"schema_version\": 1,\n"
-       << "  \"bench\": \"parallel_scaling\",\n"
-       << "  \"workload\": \"table1_pipelayer\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"host_hardware_concurrency\": " << hc << ",\n"
-       << "  \"threads\": [1, 2, 4, 8],\n"
-       << "  \"bit_identical\": " << (bit_identical ? "true" : "false") << ",\n"
-       << "  \"kernels\": [\n";
+  obs::JsonWriter w(json);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", "parallel_scaling");
+  w.kv("workload", "table1_pipelayer");
+  w.kv("quick", quick);
+  w.kv("host_hardware_concurrency", hc);
+  w.key("threads");
+  w.begin_array();
+  for (const std::size_t t : thread_counts) w.value(t);
+  w.end_array();
+  w.kv("bit_identical", bit_identical);
+  w.key("kernels");
+  w.begin_array();
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    json << "    {\"name\": \"" << kernels[k].name << "\", \"time_ms\": [";
+    w.begin_object();
+    w.kv("name", kernels[k].name);
+    w.key("time_ms");
+    w.begin_array();
     for (std::size_t t = 0; t < thread_counts.size(); ++t)
-      json << (t ? ", " : "") << results[k][t].ms;
-    json << "], \"speedup_vs_1t\": [";
+      w.value(results[k][t].ms);
+    w.end_array();
+    w.key("speedup_vs_1t");
+    w.begin_array();
     for (std::size_t t = 0; t < thread_counts.size(); ++t)
-      json << (t ? ", " : "") << results[k][0].ms / results[k][t].ms;
-    json << "]}" << (k + 1 < kernels.size() ? "," : "") << "\n";
+      w.value(results[k][0].ms / results[k][t].ms);
+    w.end_array();
+    w.end_object();
   }
-  json << "  ],\n"
-       << "  \"geomean_speedup_8t_vs_1t\": " << geomean << "\n"
-       << "}\n";
+  w.end_array();
+  w.kv("geomean_speedup_8t_vs_1t", geomean);
+  w.end_object();
+  w.finish();
   std::cout << "wrote " << out_path << "\n";
   return bit_identical ? 0 : 1;
 }

@@ -1,9 +1,11 @@
 #include "arch/chip_sim.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::arch {
 
@@ -27,6 +29,7 @@ std::vector<std::vector<std::size_t>> ChipSimulator::layers_by_bank() const {
 }
 
 ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
+  RERAMDL_TRACE_SCOPE("chip.run", "arch");
   ChipRunReport report;
   const auto by_bank = layers_by_bank();
 
@@ -68,21 +71,64 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
     report.instructions += r.instructions;
     report.total_bank_ns += r.busy_ns;
     report.critical_bank_ns = std::max(report.critical_bank_ns, r.busy_ns);
-    for (const auto& [component, pj] : r.energy.breakdown())
-      report.energy.add(component, pj);
+    report.energy.merge(r.energy);
   }
 
   // Inter-bank activation transfers along the layer chain. Training ships
   // activations forward and errors backward (2x per sample).
+  const bool tracing = obs::trace_enabled();
+  if (tracing && trace_pid_ < 0) {
+    trace_pid_ = obs::alloc_virtual_pid("chip_sim");
+    for (std::size_t b = 0; b < by_bank.size(); ++b)
+      if (!by_bank[b].empty())
+        obs::name_thread(trace_pid_, static_cast<int>(b),
+                         "bank" + std::to_string(b));
+    obs::name_thread(trace_pid_, static_cast<int>(by_bank.size()), "noc");
+  }
+  // NoC transfers serialize after the critical bank in the latency model;
+  // the trace lays them out the same way.
+  double noc_cursor_us = sim_epoch_us_ + report.critical_bank_ns * 1e-3;
   const double passes = training ? 2.0 * static_cast<double>(batch)
                                  : 1.0;
   for (std::size_t i = 0; i + 1 < mapping_.layers.size(); ++i) {
     const std::size_t from = placement_.bank[i];
     const std::size_t to = placement_.bank[i + 1];
     const std::size_t bytes = 4 * mapping_.layers[i].spec.out_size();
-    report.noc_ns += passes * noc_.transfer_latency_ns(from, to, bytes);
+    const double transfer_ns = passes * noc_.transfer_latency_ns(from, to, bytes);
+    report.noc_ns += transfer_ns;
     report.energy.add("noc",
                       passes * noc_.transfer_energy_pj(from, to, bytes));
+    if (tracing) {
+      obs::emit_complete(
+          "L" + std::to_string(i) + "->L" + std::to_string(i + 1), "noc",
+          noc_cursor_us, transfer_ns * 1e-3,
+          static_cast<int>(by_bank.size()), trace_pid_);
+      noc_cursor_us += transfer_ns * 1e-3;
+    }
+  }
+
+  if (tracing) {
+    // Per-bank busy windows on the simulated timeline; all banks start the
+    // run together, each runs for its own busy time.
+    for (std::size_t b = 0; b < by_bank.size(); ++b) {
+      if (!bank_active[b]) continue;
+      obs::emit_complete(training ? "train_batch" : "forward", "bank",
+                         sim_epoch_us_, bank_reports[b].busy_ns * 1e-3,
+                         static_cast<int>(b), trace_pid_);
+    }
+    sim_epoch_us_ += report.latency_ns() * 1e-3;
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& runs = reg.counter("chip.runs");
+    static obs::Counter& instructions = reg.counter("chip.instructions");
+    runs.add();
+    instructions.add(report.instructions);
+    reg.gauge("chip.latency_ns").set(report.latency_ns());
+    // Energy-breakdown snapshot: one gauge per component, last run wins.
+    for (const auto& [component, pj] : report.energy.breakdown())
+      reg.gauge("chip.energy_pj." + component).set(pj);
   }
   return report;
 }

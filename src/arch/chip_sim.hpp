@@ -52,6 +52,13 @@ class ChipSimulator {
   mapping::NetworkMapping mapping_;
   Placement placement_;
   MeshNoc noc_;
+
+  // Observability (active only when RERAMDL_TRACE is set): a virtual trace
+  // process for this simulator's simulated timeline, with one track per
+  // used bank plus a NoC track. Consecutive run() calls append after the
+  // previous run's span window, so a batch loop reads as a Gantt chart.
+  int trace_pid_ = -1;
+  double sim_epoch_us_ = 0.0;
 };
 
 }  // namespace reramdl::arch

@@ -9,6 +9,11 @@ void EnergyMeter::add(const std::string& component, double energy_pj) {
   by_component_[component] += energy_pj;
 }
 
+void EnergyMeter::merge(const EnergyMeter& other) {
+  for (const auto& [component, pj] : other.by_component_)
+    by_component_[component] += pj;
+}
+
 double EnergyMeter::total_pj() const {
   double t = 0.0;
   for (const auto& [name, e] : by_component_) t += e;

@@ -11,6 +11,10 @@ namespace reramdl::arch {
 class EnergyMeter {
  public:
   void add(const std::string& component, double energy_pj);
+  // Fold another meter's breakdown into this one, component by component.
+  // std::map iteration keeps the fold order deterministic, so merging
+  // per-bank meters in ascending bank order is reproducible.
+  void merge(const EnergyMeter& other);
   double total_pj() const;
   double component_pj(const std::string& component) const;
   const std::map<std::string, double>& breakdown() const { return by_component_; }

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::circuit {
 
@@ -40,6 +41,15 @@ std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
                                          double x_max) {
   RERAMDL_CHECK_EQ(x.size(), total_rows_);
   RERAMDL_CHECK(!arrays_.empty());
+  RERAMDL_TRACE_SCOPE("xbar.compute", "circuit");
+  obs::ScopedHistogramTimer obs_timer("xbar.mvm_ns");
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& mvms = reg.counter("xbar.mvms");
+    static obs::Counter& tiles = reg.counter("xbar.tile_mvms");
+    mvms.add();
+    tiles.add(arrays_.size());
+  }
 
   // Every (row_tile, col_tile) partial-sum MVM is independent — each tile is
   // its own Crossbar with its own stats — so they dispatch to the pool as a

@@ -19,6 +19,23 @@ void RunningStat::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ += other.n_;
+}
+
 double RunningStat::mean() const {
   RERAMDL_CHECK_GT(n_, 0u);
   return mean_;

@@ -6,10 +6,16 @@
 
 namespace reramdl {
 
-// Welford streaming mean / variance plus min / max.
+// Welford streaming mean / variance plus min / max. The moment accessors
+// (mean, variance, min, max) are defined only on a non-empty stat and throw
+// CheckError on an empty one — there is no "stale zero" state to misread.
 class RunningStat {
  public:
   void add(double x);
+  // Fold another stat into this one (Chan's parallel-merge update for the
+  // second moment). Either side may be empty; merging per-shard stats in a
+  // fixed order matches the obs histograms' mergeable-bucket design.
+  void merge(const RunningStat& other);
   std::size_t count() const { return n_; }
   double mean() const;
   double variance() const;  // population variance

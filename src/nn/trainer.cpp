@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::nn {
 
@@ -39,6 +40,8 @@ Tensor gather_batch(const Tensor& data, const std::vector<std::size_t>& order,
 EpochStats Trainer::train_epoch(const Tensor& images,
                                 const std::vector<std::size_t>& labels,
                                 std::size_t batch_size, Rng& rng) {
+  RERAMDL_TRACE_SCOPE("train.epoch", "nn");
+  obs::ScopedHistogramTimer obs_timer("train.epoch_ns");
   const std::size_t n = images.shape()[0];
   RERAMDL_CHECK_EQ(labels.size(), n);
   RERAMDL_CHECK_GT(batch_size, 0u);
@@ -64,12 +67,24 @@ EpochStats Trainer::train_epoch(const Tensor& images,
   RERAMDL_CHECK_GT(stats.batches, 0u);
   stats.mean_loss = loss_sum / static_cast<double>(stats.batches);
   stats.accuracy = acc_sum / static_cast<double>(stats.batches);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& epochs = reg.counter("train.epochs");
+    static obs::Counter& batches = reg.counter("train.batches");
+    static obs::Counter& samples = reg.counter("train.samples");
+    epochs.add();
+    batches.add(stats.batches);
+    samples.add(stats.batches * batch_size);
+    reg.gauge("train.last_loss").set(stats.mean_loss);
+    reg.gauge("train.last_accuracy").set(stats.accuracy);
+  }
   return stats;
 }
 
 EpochStats Trainer::evaluate(const Tensor& images,
                              const std::vector<std::size_t>& labels,
                              std::size_t batch_size) {
+  RERAMDL_TRACE_SCOPE("train.evaluate", "nn");
   const std::size_t n = images.shape()[0];
   RERAMDL_CHECK_EQ(labels.size(), n);
   EpochStats stats;

@@ -1,0 +1,145 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace reramdl::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  RERAMDL_CHECK(!done_);
+  if (stack_.empty()) return;  // the single top-level value
+  if (stack_.back() == Ctx::kObject) {
+    // Inside an object a value is only legal right after its key; key()
+    // already did the comma/indent bookkeeping.
+    RERAMDL_CHECK(key_pending_);
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << (pretty_ ? "," : ", ");
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  RERAMDL_CHECK(!done_);
+  RERAMDL_CHECK(!stack_.empty() && stack_.back() == Ctx::kObject);
+  RERAMDL_CHECK(!key_pending_);
+  if (has_items_.back()) os_ << (pretty_ ? "," : ", ");
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << escape(k) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::open(Ctx ctx, char brace) {
+  before_value();
+  stack_.push_back(ctx);
+  has_items_.push_back(false);
+  os_ << brace;
+}
+
+void JsonWriter::close(Ctx ctx, char brace) {
+  RERAMDL_CHECK(!stack_.empty() && stack_.back() == ctx);
+  RERAMDL_CHECK(!key_pending_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << brace;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::begin_object() { open(Ctx::kObject, '{'); }
+void JsonWriter::end_object() { close(Ctx::kObject, '}'); }
+void JsonWriter::begin_array() { open(Ctx::kArray, '['); }
+void JsonWriter::end_array() { close(Ctx::kArray, ']'); }
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << '"' << escape(s) << '"';
+  done_ = stack_.empty();
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  done_ = stack_.empty();
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    os_ << "null";
+  } else if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+             std::abs(d) < 1e15) {
+    // Integral doubles print without an exponent or trailing digits so the
+    // common case (counts, cycle totals) stays human-readable.
+    os_ << static_cast<std::int64_t>(d);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, d);
+    os_ << buf;
+  }
+  done_ = stack_.empty();
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  done_ = stack_.empty();
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  done_ = stack_.empty();
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  done_ = stack_.empty();
+}
+
+void JsonWriter::finish() {
+  RERAMDL_CHECK(stack_.empty());
+  RERAMDL_CHECK(done_);
+  if (pretty_) os_ << '\n';
+}
+
+}  // namespace reramdl::obs

@@ -1,0 +1,82 @@
+// Minimal streaming JSON emitter shared by the metrics registry, the trace
+// writer, and the benches' BENCH_*.json emission — one escaping and number
+// formatting path instead of a hand-rolled `os << "{\"..."` per caller.
+//
+// The writer tracks the container stack and inserts commas, newlines, and
+// indentation itself; callers only describe structure:
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.kv("schema_version", 1);
+//   w.key("kernels"); w.begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();
+//
+// Misuse (a value where a key is required, unbalanced end_*) throws
+// CheckError. Doubles are emitted round-trippable (max_digits10); NaN and
+// infinities — which JSON cannot represent — are emitted as null.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reramdl::obs {
+
+class JsonWriter {
+ public:
+  // `pretty` adds newlines and two-space indentation; compact mode emits a
+  // single line (used for the potentially large trace-event arrays).
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object member key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  // All containers closed; flushes the trailing newline in pretty mode.
+  void finish();
+
+  // JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Ctx : unsigned char { kObject, kArray };
+
+  void before_value();   // comma / indent bookkeeping for a value slot
+  void open(Ctx ctx, char brace);
+  void close(Ctx ctx, char brace);
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;  // per container: need a comma before next item
+  bool key_pending_ = false;     // a key was written, value slot open
+  bool done_ = false;
+};
+
+}  // namespace reramdl::obs

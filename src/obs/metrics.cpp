@@ -1,0 +1,257 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/json_writer.hpp"
+
+namespace reramdl::obs {
+
+namespace {
+
+// Atomic min/max over doubles via CAS (no fetch_min for floating point).
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+struct MetricsState {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;  // guards path
+  std::string path;
+};
+
+MetricsState& metrics_state() {
+  // Leaked: pool workers and atexit hooks may outlive static destruction.
+  static MetricsState* s = [] {
+    auto* st = new MetricsState;
+    if (const char* env = std::getenv("RERAMDL_METRICS")) {
+      if (env[0] != '\0') {
+        st->path = env;
+        st->enabled.store(true, std::memory_order_release);
+        std::atexit(write_metrics);
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count());
+}
+
+bool metrics_enabled() {
+  return metrics_state().enabled.load(std::memory_order_acquire);
+}
+
+void set_metrics_enabled(bool on) {
+  metrics_state().enabled.store(on, std::memory_order_release);
+}
+
+void set_metrics_path(std::string path) {
+  auto& s = metrics_state();
+  const bool enable = !path.empty();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.path = std::move(path);
+  }
+  if (enable) s.enabled.store(true, std::memory_order_release);
+}
+
+std::string metrics_path() {
+  auto& s = metrics_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void write_metrics() {
+  const std::string path = metrics_path();
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "obs: cannot open metrics path " << path << "\n";
+    return;
+  }
+  Registry::instance().write_json(os);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN clamp to the first bucket
+  const int e = std::ilogb(v);  // floor(log2 v) for finite v >= 1
+  if (e < 0) return 0;
+  const std::size_t i = static_cast<std::size_t>(e) + 1;
+  return i < kBuckets ? i : kBuckets - 1;
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample seeds min/max; racing recorders still converge because
+    // the CAS loops below run for every sample.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? std::nan("") : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? std::nan("") : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? std::nan("") : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry;  // leaked with the rest of obs state
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "reramdl_metrics");
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    if (h->count() > 0) {
+      w.kv("min", h->min());
+      w.kv("max", h->max());
+      w.kv("mean", h->mean());
+    }
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;  // sparse dump; bounds are fixed and implied
+      w.begin_object();
+      w.kv("le", Histogram::bucket_upper_bound(i));
+      w.kv("count", n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  write_json(w);
+  w.finish();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+// ---- ScopedHistogramTimer ---------------------------------------------------
+
+ScopedHistogramTimer::ScopedHistogramTimer(const char* name) {
+  if (metrics_enabled()) {
+    name_ = name;
+    start_ns_ = monotonic_ns();
+  }
+}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  if (name_ == nullptr) return;
+  const std::uint64_t dur = monotonic_ns() - start_ns_;
+  Registry::instance().histogram(name_).record(static_cast<double>(dur));
+}
+
+}  // namespace reramdl::obs

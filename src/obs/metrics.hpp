@@ -1,0 +1,141 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed
+// log-scale-bucket histograms, updatable concurrently from the thread pool
+// with lock-free atomics.
+//
+// Enablement: metrics are off by default. RERAMDL_METRICS=<path> in the
+// environment turns collection on and dumps the registry as JSON to <path>
+// at process exit; tests and benches can instead call set_metrics_enabled /
+// set_metrics_path / write_metrics directly. The disabled fast path at every
+// instrumentation site is a single relaxed atomic load (see
+// RERAMDL_OBS_DISABLED in obs.hpp for the compile-time kill switch), which
+// the acceptance bench requires to cost < 2% of wall time.
+//
+// Handle stability: counter()/gauge()/histogram() return references that
+// stay valid for the life of the process — call sites cache them in
+// function-local statics and update without further registry locking.
+// reset() zeroes values but never invalidates handles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace reramdl::obs {
+
+class JsonWriter;
+
+// Monotonic nanoseconds since a process-static epoch; the shared time base
+// for latency histograms and trace span timestamps.
+std::uint64_t monotonic_ns();
+
+// Fast global switch; instrumentation sites guard on this before touching
+// any instrument.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+// Non-empty path enables collection and is the write_metrics() target.
+void set_metrics_path(std::string path);
+std::string metrics_path();
+
+// Dump the registry to metrics_path() (no-op when the path is empty). Also
+// installed as an atexit hook when RERAMDL_METRICS is set.
+void write_metrics();
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Histogram over fixed base-2 log-scale buckets: bucket 0 counts values in
+// [0, 1), bucket i >= 1 counts [2^(i-1), 2^i). 64 buckets cover any
+// nanosecond-scale latency the simulator can produce (2^63 ns ≈ 292 years);
+// negative values clamp to bucket 0. Fixed bounds make histograms mergeable
+// bucket-by-bucket across threads and runs.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  // NaN when empty
+  double max() const;  // NaN when empty
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  // Inclusive upper bound of bucket i: 1, 2, 4, ... (matches the Prometheus
+  // "le" convention in the JSON dump).
+  static double bucket_upper_bound(std::size_t i);
+  static std::size_t bucket_index(double v);
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} — the full
+  // file written by write_metrics() adds schema framing around this.
+  void write_json(JsonWriter& w) const;
+  void write_json(std::ostream& os) const;
+
+  // Zero every instrument; existing references stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the instrument values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII latency probe: when metrics are enabled at construction, records the
+// scope's elapsed nanoseconds into histogram(name) at destruction. `name`
+// must be a string with static storage duration.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(const char* name);
+  ~ScopedHistogramTimer();
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace reramdl::obs

@@ -1,0 +1,20 @@
+// Umbrella header for the observability layer. Instrumented code includes
+// this one header and uses:
+//
+//   RERAMDL_TRACE_SCOPE("xbar.compute", "circuit");      // wall-clock span
+//   obs::ScopedHistogramTimer t("xbar.mvm_ns");          // latency histogram
+//   if (obs::metrics_enabled()) {
+//     static obs::Counter& c = obs::Registry::instance().counter("xbar.mvms");
+//     c.add();
+//   }
+//
+// Runtime switches: RERAMDL_TRACE=<path> (Chrome trace-event JSON, open in
+// Perfetto) and RERAMDL_METRICS=<path> (registry dump), both written at
+// process exit. Disabled cost is one relaxed atomic load per site; the
+// RERAMDL_OBS=OFF CMake option (-DRERAMDL_OBS_DISABLED) removes the span
+// macro at compile time.
+#pragma once
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

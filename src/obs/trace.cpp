@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"  // monotonic_ns
+
+namespace reramdl::obs {
+
+namespace {
+
+struct Event {
+  std::string name;           // span / track name, or metadata arg value
+  const char* cat = nullptr;  // static string; null for injected/meta events
+  char ph = 'X';
+  int pid = kHostPid;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  const char* meta_key = nullptr;  // "process_name"/"thread_name" for ph 'M'
+};
+
+// Per-thread event buffer. Owned jointly by the recording thread (via a
+// thread_local shared_ptr) and the global list, so events survive thread
+// exit — pool workers die on every set_thread_count resize.
+struct ThreadBuf {
+  std::mutex mu;  // uncontended in the record path; taken by write_trace
+  std::vector<Event> events;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;  // guards path and bufs
+  std::string path;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::atomic<int> next_tid{0};
+  std::atomic<int> next_pid{100};
+};
+
+TraceState& trace_state() {
+  // Leaked: worker threads and the atexit writer may outlive static
+  // destruction order.
+  static TraceState* s = [] {
+    auto* st = new TraceState;
+    if (const char* env = std::getenv("RERAMDL_TRACE")) {
+      if (env[0] != '\0') {
+        st->path = env;
+        st->enabled.store(true, std::memory_order_release);
+        std::atexit(write_trace);
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+ThreadBuf& local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    auto& s = trace_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void push_event(Event e) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return trace_state().enabled.load(std::memory_order_acquire);
+}
+
+void set_trace_path(std::string path) {
+  auto& s = trace_state();
+  const bool enable = !path.empty();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.path = std::move(path);
+  }
+  s.enabled.store(enable, std::memory_order_release);
+}
+
+std::string trace_path() {
+  auto& s = trace_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+int current_tid() {
+  thread_local int tid =
+      trace_state().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void emit_complete(std::string name, const char* cat, double ts_us,
+                   double dur_us, int tid, int pid) {
+  if (!trace_enabled()) return;
+  Event e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  push_event(std::move(e));
+}
+
+int alloc_virtual_pid(const std::string& process_name) {
+  auto& s = trace_state();
+  const int pid = s.next_pid.fetch_add(1, std::memory_order_relaxed);
+  if (!trace_enabled()) return pid;
+  Event e;
+  e.ph = 'M';
+  e.meta_key = "process_name";
+  e.name = process_name;
+  e.pid = pid;
+  push_event(std::move(e));
+  return pid;
+}
+
+void name_thread(int pid, int tid, const std::string& name) {
+  if (!trace_enabled()) return;
+  Event e;
+  e.ph = 'M';
+  e.meta_key = "thread_name";
+  e.name = name;
+  e.pid = pid;
+  e.tid = tid;
+  push_event(std::move(e));
+}
+
+void ScopedSpan::begin(const char* name, const char* cat) {
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = monotonic_ns();
+}
+
+void ScopedSpan::end() {
+  // Tracing may have been switched off mid-span; still record for a closed
+  // file — the enabled check already passed at open.
+  const std::uint64_t end_ns = monotonic_ns();
+  Event e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ph = 'X';
+  e.pid = kHostPid;
+  e.tid = current_tid();
+  e.ts_us = static_cast<double>(start_ns_) * 1e-3;
+  e.dur_us = static_cast<double>(end_ns - start_ns_) * 1e-3;
+  push_event(std::move(e));
+}
+
+std::size_t trace_event_count() {
+  auto& s = trace_state();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    bufs = s.bufs;
+  }
+  std::size_t n = 0;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void reset_trace() {
+  auto& s = trace_state();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    bufs = s.bufs;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->events.clear();
+  }
+}
+
+void write_trace() {
+  const std::string path = trace_path();
+  if (path.empty()) return;
+
+  auto& s = trace_state();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    bufs = s.bufs;
+  }
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "obs: cannot open trace path " << path << "\n";
+    return;
+  }
+
+  // Compact mode: trace files can hold tens of thousands of events and
+  // Perfetto does not care about whitespace.
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  // Host process metadata, then every buffered event.
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("pid", kHostPid);
+  w.kv("name", "process_name");
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "host");
+  w.end_object();
+  w.end_object();
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    for (const Event& e : b->events) {
+      w.begin_object();
+      w.kv("ph", std::string_view(&e.ph, 1));
+      w.kv("pid", e.pid);
+      w.kv("tid", e.tid);
+      if (e.ph == 'M') {
+        w.kv("name", e.meta_key);
+        w.key("args");
+        w.begin_object();
+        w.kv("name", e.name);
+        w.end_object();
+      } else {
+        w.kv("name", e.name);
+        if (e.cat != nullptr) w.kv("cat", e.cat);
+        w.kv("ts", e.ts_us);
+        w.kv("dur", e.dur_us);
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  os << "\n";
+}
+
+}  // namespace reramdl::obs

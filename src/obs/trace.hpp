@@ -1,0 +1,97 @@
+// Span tracer emitting Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load natively: https://ui.perfetto.dev, "Open trace").
+//
+// Two kinds of timelines coexist in one file, separated by trace "process"
+// ids so viewers render them as distinct groups:
+//   - pid 1 ("host"): real wall-clock spans recorded by ScopedSpan on the
+//     thread that executed them (tid = small per-thread id). Nesting on a
+//     thread appears as Perfetto's stacked slices.
+//   - pid >= 100 (virtual): simulated timelines injected via emit_complete
+//     with model timestamps — per-bank busy windows from ChipSimulator,
+//     PipelineSim stage Gantt charts (1 cycle == 1 us so the charts are
+//     readable at default zoom). alloc_virtual_pid() names each group.
+//
+// Enablement mirrors metrics: RERAMDL_TRACE=<path> turns tracing on and
+// writes the file at process exit; set_trace_path()/write_trace() do the
+// same programmatically. When disabled, ScopedSpan costs one relaxed atomic
+// load and RERAMDL_OBS_DISABLED compiles the macro away entirely. Events
+// buffer in per-thread vectors (one uncontended mutex each) and serialize
+// only at write_trace().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reramdl::obs {
+
+inline constexpr int kHostPid = 1;
+
+bool trace_enabled();
+// Non-empty path enables tracing; empty disables (buffered events are kept
+// until reset_trace() or write_trace()).
+void set_trace_path(std::string path);
+std::string trace_path();
+
+// Serialize every buffered event to trace_path() as Chrome trace-event JSON
+// ({"traceEvents": [...]}). No-op when the path is empty. Buffers are not
+// cleared, so a later write produces a superset file.
+void write_trace();
+
+// Drop all buffered events (tests).
+void reset_trace();
+
+// Total events currently buffered across threads (tests / sanity checks).
+std::size_t trace_event_count();
+
+// Small dense id for the calling thread, assigned on first use (0, 1, ...).
+int current_tid();
+
+// Inject a complete event ("ph":"X") with explicit timestamps, in
+// microseconds — the unit the trace format mandates. Used for simulated
+// timelines; host-side code should prefer ScopedSpan.
+void emit_complete(std::string name, const char* cat, double ts_us,
+                   double dur_us, int tid, int pid = kHostPid);
+
+// Reserve a fresh virtual pid and emit its process_name metadata.
+int alloc_virtual_pid(const std::string& process_name);
+
+// Emit thread_name metadata for (pid, tid) — names simulated tracks.
+void name_thread(int pid, int tid, const std::string& name);
+
+// RAII wall-clock span on the calling thread. `name` and `cat` must have
+// static storage duration (the span keeps only the pointers until close).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) {
+    if (trace_enabled()) begin(name, cat);
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void begin(const char* name, const char* cat);
+  void end();
+
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace reramdl::obs
+
+// Function-scope span macro; compiles to nothing under RERAMDL_OBS_DISABLED
+// (set globally via the RERAMDL_OBS=OFF CMake option).
+#if defined(RERAMDL_OBS_DISABLED)
+#define RERAMDL_TRACE_SCOPE(name, cat) \
+  do {                                 \
+  } while (false)
+#else
+#define RERAMDL_TRACE_SCOPE_CAT2(a, b) a##b
+#define RERAMDL_TRACE_SCOPE_CAT(a, b) RERAMDL_TRACE_SCOPE_CAT2(a, b)
+#define RERAMDL_TRACE_SCOPE(name, cat)                    \
+  ::reramdl::obs::ScopedSpan RERAMDL_TRACE_SCOPE_CAT(     \
+      rerdl_obs_span_, __LINE__)(name, cat)
+#endif

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::pipeline {
 
@@ -48,6 +49,17 @@ std::string PipelineSim::gantt() const {
   return os.str();
 }
 
+void PipelineSim::emit_obs_spans(const std::string& label) const {
+  if (!obs::trace_enabled() || trace_.empty()) return;
+  const int pid = obs::alloc_virtual_pid(label);
+  for (std::size_t s = 0; s < stage_names_.size(); ++s)
+    obs::name_thread(pid, static_cast<int>(s), stage_names_[s]);
+  for (const TraceEntry& e : trace_)
+    obs::emit_complete(e.item.empty() ? stage_names_[e.stage] : e.item,
+                       "pipeline", static_cast<double>(e.start), 1.0,
+                       static_cast<int>(e.stage), pid);
+}
+
 // ---- PipeLayer --------------------------------------------------------------
 
 SimResult sim_pipelayer_training(std::uint64_t n, std::uint64_t l,
@@ -57,8 +69,9 @@ SimResult sim_pipelayer_training(std::uint64_t n, std::uint64_t l,
   RERAMDL_CHECK_GT(n, 0u);
   RERAMDL_CHECK_EQ(n % b, 0u);
 
+  const bool obs_trace = obs::trace_enabled();
   PipelineSim sim;
-  sim.enable_trace(want_trace);
+  sim.enable_trace(want_trace || obs_trace);
   std::vector<std::size_t> chain;
   // Forward stages F1..FL, then backward stages D0 (loss/output error) .. DL.
   for (std::uint64_t i = 1; i <= l; ++i)
@@ -78,6 +91,7 @@ SimResult sim_pipelayer_training(std::uint64_t n, std::uint64_t l,
     total = sim.add_task(update, last_done, "U");
     batch_start = total;  // next batch enters after the weight update
   }
+  if (obs_trace) sim.emit_obs_spans("pipelayer_training");
   SimResult r;
   r.cycles = total;
   if (want_trace) r.gantt = sim.gantt();
@@ -88,8 +102,9 @@ SimResult sim_pipelayer_inference(std::uint64_t n, std::uint64_t l,
                                   bool want_trace) {
   RERAMDL_CHECK_GT(l, 0u);
   RERAMDL_CHECK_GT(n, 0u);
+  const bool obs_trace = obs::trace_enabled();
   PipelineSim sim;
-  sim.enable_trace(want_trace);
+  sim.enable_trace(want_trace || obs_trace);
   std::vector<std::size_t> chain;
   for (std::uint64_t i = 1; i <= l; ++i)
     chain.push_back(sim.add_stage("F" + std::to_string(i)));
@@ -98,6 +113,7 @@ SimResult sim_pipelayer_inference(std::uint64_t n, std::uint64_t l,
     const std::string item(1, static_cast<char>('0' + (i % 10)));
     total = std::max(total, sim.add_chain(chain, 0, item));
   }
+  if (obs_trace) sim.emit_obs_spans("pipelayer_inference");
   SimResult r;
   r.cycles = total;
   if (want_trace) r.gantt = sim.gantt();
@@ -164,8 +180,9 @@ SimResult sim_regan_batch(const GanShape& s, const ReGanOptions& opts,
   RERAMDL_CHECK_GT(s.l_g, 0u);
   RERAMDL_CHECK_GT(s.b, 0u);
 
+  const bool obs_trace = obs::trace_enabled();
   PipelineSim sim;
-  sim.enable_trace(want_trace);
+  sim.enable_trace(want_trace || obs_trace);
   const ReGanStages st = build_stages(sim, s, opts);
 
   // Phase ①: real samples through D (duplicated D when SP is on).
@@ -223,6 +240,7 @@ SimResult sim_regan_batch(const GanShape& s, const ReGanOptions& opts,
 
   const std::uint64_t upd_g_done = sim.add_task(st.upd_g, phase3_done, "U");
 
+  if (obs_trace) sim.emit_obs_spans("regan_batch");
   SimResult r;
   r.cycles = std::max(upd_d_done, upd_g_done);
   if (want_trace) r.gantt = sim.gantt();

@@ -44,6 +44,13 @@ class PipelineSim {
   // first character of each item label.
   std::string gantt() const;
 
+  // Replay the recorded trace into the obs span tracer as a virtual process
+  // named `label` (one track per stage, 1 cycle == 1 us), so pipeline Gantt
+  // charts open in Perfetto next to the wall-clock spans. No-op unless
+  // RERAMDL_TRACE is active and the trace is non-empty; the sim_* drivers
+  // call this automatically when tracing is on.
+  void emit_obs_spans(const std::string& label) const;
+
  private:
   std::vector<std::string> stage_names_;
   std::vector<std::uint64_t> next_free_;

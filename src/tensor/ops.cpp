@@ -1,14 +1,30 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::ops {
 
 namespace {
+
+// Shared per-variant instrumentation: call counter, flop counter (2*m*k*n
+// multiply-adds), and a latency histogram via the returned timer. The
+// disabled path is one relaxed load plus the timer's.
+void obs_count_matmul(const char* variant, std::size_t m, std::size_t k,
+                      std::size_t n) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static obs::Counter& calls = reg.counter("ops.matmul.calls");
+  static obs::Counter& flops = reg.counter("ops.matmul.flops");
+  calls.add();
+  flops.add(static_cast<std::uint64_t>(2) * m * k * n);
+  reg.counter(std::string("ops.") + variant + ".calls").add();
+}
 
 // Cache-blocking parameters shared by the three matmul variants. The M x N
 // output is tiled; each (row-block, col-block) tile accumulates over K in
@@ -26,6 +42,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   RERAMDL_CHECK_EQ(b.shape()[0], k);
+  RERAMDL_TRACE_SCOPE("ops.matmul", "tensor");
+  obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
+  obs_count_matmul("matmul", m, k, n);
   Tensor c(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -63,6 +82,9 @@ Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
   RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
   RERAMDL_CHECK_EQ(b.shape()[1], k);
+  RERAMDL_TRACE_SCOPE("ops.matmul_transposed_b", "tensor");
+  obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
+  obs_count_matmul("matmul_transposed_b", m, k, n);
   Tensor c(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -92,6 +114,9 @@ Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
   RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   RERAMDL_CHECK_EQ(b.shape()[0], m);
+  RERAMDL_TRACE_SCOPE("ops.matmul_transposed_a", "tensor");
+  obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
+  obs_count_matmul("matmul_transposed_a", m, k, n);
   Tensor c(Shape{k, n});
   const float* pa = a.data();
   const float* pb = b.data();

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability JSON artifacts.
+
+Usage: validate_obs_json.py FILE...
+
+Each FILE is classified by its content and validated accordingly:
+  - Chrome trace-event files ({"traceEvents": [...]}): every event needs a
+    "ph" and "pid"; complete events ("ph" == "X") additionally need numeric
+    "ts", "dur", and "tid", and the file must contain spans from the
+    thread-pool, crossbar, and chip-sim scopes plus at least one virtual
+    (simulated-timeline) process. Pass --structural-only to skip the
+    required-span check for traces from binaries that don't exercise every
+    scope (e.g. examples that never touch the chip simulator).
+  - Metrics dumps ("kind" == "reramdl_metrics"): counters are non-negative
+    integers, gauges numbers, histograms carry consistent count/sum/buckets.
+  - BENCH_*.json ("bench" key): schema_version, kernels with parallel
+    time/speedup arrays.
+
+Exits non-zero with a message on the first violation. Used by CI after the
+traced bench_parallel_scaling --quick run, and handy locally:
+
+  RERAMDL_TRACE=trace.json ./bench/bench_parallel_scaling --quick
+  python3 tools/validate_obs_json.py trace.json
+"""
+
+import json
+import numbers
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def is_num(x):
+    return isinstance(x, numbers.Number) and not isinstance(x, bool)
+
+
+def validate_trace(path, doc, structural_only=False):
+    events = doc["traceEvents"]
+    require(isinstance(events, list) and events, path, "traceEvents empty")
+    span_names = set()
+    process_names = set()
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(e, dict), path, f"{where} not an object")
+        require("ph" in e, path, f"{where} missing ph")
+        require("pid" in e and is_num(e["pid"]), path, f"{where} bad pid")
+        if e["ph"] == "X":
+            for k in ("ts", "dur", "tid"):
+                require(k in e and is_num(e[k]), path, f"{where} bad {k}")
+            require(e["dur"] >= 0, path, f"{where} negative dur")
+            require(isinstance(e.get("name"), str), path, f"{where} bad name")
+            span_names.add(e["name"])
+        elif e["ph"] == "M":
+            args = e.get("args", {})
+            require(isinstance(args, dict), path, f"{where} bad args")
+            if e.get("name") == "process_name":
+                process_names.add(args.get("name"))
+    if not structural_only:
+        for needed in ("pool.parallel_for", "xbar.compute", "chip.run"):
+            require(needed in span_names, path, f"missing span {needed!r}")
+        require("chip_sim" in process_names, path,
+                "missing simulated chip_sim process")
+    print(f"{path}: trace ok ({len(events)} events, "
+          f"{len(span_names)} span names, {len(process_names)} processes)")
+
+
+def validate_metrics(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    for name, v in doc["counters"].items():
+        require(isinstance(v, int) and v >= 0, path, f"counter {name} bad")
+    for name, v in doc["gauges"].items():
+        require(is_num(v), path, f"gauge {name} bad")
+    for name, h in doc["histograms"].items():
+        require(isinstance(h.get("count"), int), path, f"hist {name} count")
+        require(is_num(h.get("sum")), path, f"hist {name} sum")
+        bucket_total = 0
+        for b in h["buckets"]:
+            require(is_num(b.get("le")) and isinstance(b.get("count"), int),
+                    path, f"hist {name} bucket malformed")
+            bucket_total += b["count"]
+        require(bucket_total == h["count"], path,
+                f"hist {name} bucket counts {bucket_total} != {h['count']}")
+        if h["count"] > 0:
+            require(h["min"] <= h["mean"] <= h["max"], path,
+                    f"hist {name} min/mean/max inconsistent")
+    print(f"{path}: metrics ok ({len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)")
+
+
+def validate_bench(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("bench"), str), path, "missing bench name")
+    threads = doc.get("threads")
+    require(isinstance(threads, list) and threads, path, "missing threads")
+    kernels = doc.get("kernels")
+    require(isinstance(kernels, list) and kernels, path, "missing kernels")
+    for k in kernels:
+        require(isinstance(k.get("name"), str), path, "kernel missing name")
+        for key in ("time_ms", "speedup_vs_1t"):
+            arr = k.get(key)
+            require(isinstance(arr, list) and len(arr) == len(threads),
+                    path, f"kernel {k.get('name')} bad {key}")
+            require(all(is_num(x) and x >= 0 for x in arr), path,
+                    f"kernel {k.get('name')} non-numeric {key}")
+    print(f"{path}: bench ok ({len(kernels)} kernels)")
+
+
+def main(argv):
+    structural_only = "--structural-only" in argv
+    argv = [a for a in argv if a != "--structural-only"]
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, f"unreadable or invalid JSON: {e}")
+        if "traceEvents" in doc:
+            validate_trace(path, doc, structural_only)
+        elif doc.get("kind") == "reramdl_metrics":
+            validate_metrics(path, doc)
+        elif "bench" in doc:
+            validate_bench(path, doc)
+        else:
+            fail(path, "unrecognized artifact (no traceEvents/kind/bench)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
