@@ -5,8 +5,19 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/scratch.hpp"
 
 namespace reramdl::circuit {
+
+namespace {
+
+// Row-block size of the batched fast-path kernel: each loaded W_eff row is
+// reused across this many input rows, turning the memory-bound MV into a
+// cache-blocked MM. Affects performance only — per-row accumulation order
+// is independent of the blocking, so results are identical for any block.
+constexpr std::size_t kBatchBlock = 32;
+
+}  // namespace
 
 std::size_t CrossbarConfig::slices() const {
   RERAMDL_CHECK_GT(cell.bits_per_cell, 0u);
@@ -62,6 +73,23 @@ void Crossbar::program(const Tensor& weights, double w_max,
     }
   }
   stats_.programmed_cells += r_ * c_ * num_slices * 2;
+  rebuild_w_eff();
+}
+
+void Crossbar::rebuild_w_eff() {
+  // Each element folds its slices in ascending order — the same add
+  // sequence compute_reference evaluates inline, so the collapsed path is
+  // bit-identical to the slice walk even for drifted / varied levels.
+  const std::size_t num_slices = levels_.size();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  w_eff_.assign(r_ * c_, 0.0);
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    const double weight = static_cast<double>(std::uint64_t{1} << (s * bpc));
+    const auto& pos = levels_[s][0];
+    const auto& neg = levels_[s][1];
+    for (std::size_t e = 0; e < r_ * c_; ++e)
+      w_eff_[e] += weight * (pos[e] - neg[e]);
+  }
 }
 
 void Crossbar::apply_drift(double factor) {
@@ -70,57 +98,223 @@ void Crossbar::apply_drift(double factor) {
   for (auto& slice : levels_)
     for (auto& polarity : slice)
       for (auto& level : polarity) level *= factor;
+  rebuild_w_eff();
 }
 
 std::vector<float> Crossbar::compute(const std::vector<float>& x, double x_max) {
   RERAMDL_CHECK_EQ(x.size(), r_);
+  std::vector<float> y(c_);
+  compute(x.data(), x.size(), x_max, y.data());
+  return y;
+}
+
+void Crossbar::compute(const float* x, std::size_t n, double x_max, float* y) {
+  RERAMDL_CHECK_EQ(n, r_);
   RERAMDL_CHECK_GT(w_max_, 0.0);
   RERAMDL_CHECK_GT(x_max, 0.0);
 
+  if (!config_.bit_serial) {
+    CrossbarStats delta;
+    compute_batch_block(x, 1, n, x_max, y, c_, delta);
+    stats_ += delta;
+    return;
+  }
+
   const device::LinearQuantizer xq(config_.input_bits, x_max);
-  std::vector<std::int64_t> x_int(r_);
+  scratch::Buffer<std::int64_t> x_int(r_);
   for (std::size_t i = 0; i < r_; ++i) {
     x_int[i] = xq.quantize(x[i]);
     const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(x_int[i]));
     stats_.input_spikes += static_cast<std::uint64_t>(std::popcount(mag));
   }
 
-  const std::vector<double> acc =
-      config_.bit_serial ? compute_bit_serial(x_int) : compute_fast(x_int);
+  scratch::Buffer<double> acc(c_);
+  std::fill(acc.begin(), acc.end(), 0.0);
+  compute_bit_serial(x_int.data(), acc.data());
 
   // Scale integer result back to value domain:
   // y = sum_i w_int[i] * x_int[i] * w_step * x_step.
   const device::LinearQuantizer wq(config_.weight_bits, w_max_);
   const double scale = wq.step() * xq.step();
-  std::vector<float> y(c_);
   for (std::size_t j = 0; j < c_; ++j)
     y[j] = static_cast<float>(acc[j] * scale);
   ++stats_.compute_ops;
+}
+
+Tensor Crossbar::compute_batch(const Tensor& rows, double x_max) {
+  RERAMDL_CHECK_EQ(rows.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(rows.shape()[1], r_);
+  const std::size_t m = rows.shape()[0];
+  Tensor out(Shape{m, c_});
+  if (config_.bit_serial) {
+    for (std::size_t b = 0; b < m; ++b)
+      compute(rows.data() + b * r_, r_, x_max, out.data() + b * c_);
+    return out;
+  }
+  CrossbarStats delta;
+  for (std::size_t b0 = 0; b0 < m; b0 += kBatchBlock) {
+    const std::size_t bm = std::min(kBatchBlock, m - b0);
+    compute_batch_block(rows.data() + b0 * r_, bm, r_, x_max,
+                        out.data() + b0 * c_, c_, delta);
+  }
+  stats_ += delta;
+  return out;
+}
+
+void Crossbar::compute_batch_block(const float* rows, std::size_t m,
+                                   std::size_t row_stride, double x_max,
+                                   float* out, std::size_t out_stride,
+                                   CrossbarStats& delta) const {
+  scratch::Buffer<double> xt(r_ * m);
+  delta.input_spikes += quantize_batch(rows, m, row_stride, x_max, xt.data());
+  compute_batch_prequant(xt.data(), m, x_max, out, out_stride, delta);
+}
+
+std::uint64_t Crossbar::quantize_batch(const float* rows, std::size_t m,
+                                       std::size_t row_stride, double x_max,
+                                       double* xt) const {
+  RERAMDL_CHECK_GT(x_max, 0.0);
+  const device::LinearQuantizer xq(config_.input_bits, x_max);
+  // Transposed to [i][b] so the kernel's inner row loop reads contiguously.
+  std::uint64_t spikes = 0;
+  for (std::size_t b = 0; b < m; ++b) {
+    const float* xrow = rows + b * row_stride;
+    for (std::size_t i = 0; i < r_; ++i) {
+      const std::int64_t q = xq.quantize(xrow[i]);
+      const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(q));
+      spikes += static_cast<std::uint64_t>(std::popcount(mag));
+      xt[i * m + b] = static_cast<double>(q);
+    }
+  }
+  return spikes;
+}
+
+void Crossbar::compute_batch_prequant(const double* xt, std::size_t m,
+                                      double x_max, float* out,
+                                      std::size_t out_stride,
+                                      CrossbarStats& delta) const {
+  RERAMDL_CHECK(!config_.bit_serial);
+  RERAMDL_CHECK_GT(w_max_, 0.0);
+  RERAMDL_CHECK_GT(x_max, 0.0);
+
+  const device::LinearQuantizer xq(config_.input_bits, x_max);
+  const device::LinearQuantizer wq(config_.weight_bits, w_max_);
+  const double scale = wq.step() * xq.step();
+
+  // Register-tiled microkernel: a 4-row x 8-column accumulator tile lives
+  // in registers across the entire i loop, so W_eff rows stream through
+  // once per row quad with no accumulator load/store traffic inside the
+  // loop (the row-fused form was store-bound at ~half the FMA peak). Per
+  // output element the accumulation still visits i in ascending order —
+  // identical to a single-vector compute(). Unlike the single-row tail,
+  // the tile does not skip xi == 0 contributions; that is bitwise a no-op:
+  // an accumulator can never be -0.0 (it starts at +0.0, exact cancellation
+  // rounds to +0.0, and +0.0 + (-0.0) = +0.0), and adding xi * w == +/-0.0
+  // to any such value leaves its bit pattern unchanged.
+  std::size_t b = 0;
+  for (; b + 4 <= m; b += 4) {
+    for (std::size_t j0 = 0; j0 < c_; j0 += 8) {
+      const std::size_t jn = std::min<std::size_t>(8, c_ - j0);
+      double a0[8] = {}, a1[8] = {}, a2[8] = {}, a3[8] = {};
+      const double* __restrict wp = w_eff_.data() + j0;
+      const double* __restrict xp = xt + b;
+      if (jn == 8) {
+        for (std::size_t i = 0; i < r_; ++i, wp += c_, xp += m) {
+          const double x0 = xp[0], x1 = xp[1], x2 = xp[2], x3 = xp[3];
+          for (int jj = 0; jj < 8; ++jj) {
+            const double w = wp[jj];
+            a0[jj] += x0 * w;
+            a1[jj] += x1 * w;
+            a2[jj] += x2 * w;
+            a3[jj] += x3 * w;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < r_; ++i, wp += c_, xp += m) {
+          const double x0 = xp[0], x1 = xp[1], x2 = xp[2], x3 = xp[3];
+          for (std::size_t jj = 0; jj < jn; ++jj) {
+            const double w = wp[jj];
+            a0[jj] += x0 * w;
+            a1[jj] += x1 * w;
+            a2[jj] += x2 * w;
+            a3[jj] += x3 * w;
+          }
+        }
+      }
+      float* y0 = out + b * out_stride + j0;
+      float* y1 = y0 + out_stride;
+      float* y2 = y1 + out_stride;
+      float* y3 = y2 + out_stride;
+      for (std::size_t jj = 0; jj < jn; ++jj) {
+        y0[jj] = static_cast<float>(a0[jj] * scale);
+        y1[jj] = static_cast<float>(a1[jj] * scale);
+        y2[jj] = static_cast<float>(a2[jj] * scale);
+        y3[jj] = static_cast<float>(a3[jj] * scale);
+      }
+    }
+  }
+
+  // Batch tail (< 4 rows, including the single-vector m == 1 case): the
+  // i-outer row-fused form with the zero-skip.
+  if (b < m) {
+    const std::size_t tm = m - b;
+    scratch::Buffer<double> acc(tm * c_);
+    std::fill(acc.begin(), acc.begin() + tm * c_, 0.0);
+    for (std::size_t i = 0; i < r_; ++i) {
+      const double* wrow = w_eff_.data() + i * c_;
+      const double* xcol = xt + i * m;
+      for (std::size_t bb = b; bb < m; ++bb) {
+        const double xi = xcol[bb];
+        if (xi == 0.0) continue;
+        double* arow = acc.data() + (bb - b) * c_;
+        for (std::size_t j = 0; j < c_; ++j) arow[j] += xi * wrow[j];
+      }
+    }
+    for (std::size_t bb = b; bb < m; ++bb) {
+      const double* arow = acc.data() + (bb - b) * c_;
+      float* yrow = out + bb * out_stride;
+      for (std::size_t j = 0; j < c_; ++j)
+        yrow[j] = static_cast<float>(arow[j] * scale);
+    }
+  }
+  delta.compute_ops += m;
+}
+
+std::vector<float> Crossbar::compute_reference(const std::vector<float>& x,
+                                               double x_max) const {
+  RERAMDL_CHECK_EQ(x.size(), r_);
+  RERAMDL_CHECK_GT(w_max_, 0.0);
+  RERAMDL_CHECK_GT(x_max, 0.0);
+
+  const device::LinearQuantizer xq(config_.input_bits, x_max);
+  const device::LinearQuantizer wq(config_.weight_bits, w_max_);
+  const double scale = wq.step() * xq.step();
+  const std::size_t num_slices = levels_.size();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+
+  std::vector<double> acc(c_, 0.0);
+  for (std::size_t i = 0; i < r_; ++i) {
+    const double xi = static_cast<double>(xq.quantize(x[i]));
+    if (xi == 0.0) continue;
+    const std::size_t base = i * c_;
+    for (std::size_t j = 0; j < c_; ++j) {
+      double w = 0.0;  // inline slice-ascending collapse == W_eff[i,j]
+      for (std::size_t s = 0; s < num_slices; ++s) {
+        const double weight =
+            static_cast<double>(std::uint64_t{1} << (s * bpc));
+        w += weight * (levels_[s][0][base + j] - levels_[s][1][base + j]);
+      }
+      acc[j] += xi * w;
+    }
+  }
+
+  std::vector<float> y(c_);
+  for (std::size_t j = 0; j < c_; ++j)
+    y[j] = static_cast<float>(acc[j] * scale);
   return y;
 }
 
-std::vector<double> Crossbar::compute_fast(
-    const std::vector<std::int64_t>& x_int) const {
-  const std::size_t num_slices = levels_.size();
-  const std::size_t bpc = config_.cell.bits_per_cell;
-  std::vector<double> acc(c_, 0.0);
-  for (std::size_t s = 0; s < num_slices; ++s) {
-    const double weight = static_cast<double>(std::uint64_t{1} << (s * bpc));
-    const auto& pos = levels_[s][0];
-    const auto& neg = levels_[s][1];
-    for (std::size_t i = 0; i < r_; ++i) {
-      const double xi = static_cast<double>(x_int[i]);
-      if (xi == 0.0) continue;
-      const std::size_t base = i * c_;
-      for (std::size_t j = 0; j < c_; ++j)
-        acc[j] += xi * weight * (pos[base + j] - neg[base + j]);
-    }
-  }
-  return acc;
-}
-
-std::vector<double> Crossbar::compute_bit_serial(
-    const std::vector<std::int64_t>& x_int) {
+void Crossbar::compute_bit_serial(const std::int64_t* x_int, double* acc) {
   // Emulates the spike driver + I&F + counter + shift-add path cycle by
   // cycle: one wordline spike phase per (input bit, sign phase); per column
   // the integrated current is counted with saturation at 2^counter_bits - 1.
@@ -129,7 +323,12 @@ std::vector<double> Crossbar::compute_bit_serial(
   const double counter_max =
       static_cast<double>((std::uint64_t{1} << config_.counter_bits) - 1);
 
-  std::vector<double> acc(c_, 0.0);
+  // Per-cycle bitline integrals, checked out once per MVM instead of
+  // 2 * input_bits * slices heap allocations inside the cycle loop.
+  scratch::Buffer<double> cols(2 * c_);
+  double* col_pos = cols.data();
+  double* col_neg = cols.data() + c_;
+
   for (int phase = 0; phase < 2; ++phase) {  // 0: positive inputs, 1: negative
     for (std::size_t b = 0; b < config_.input_bits; ++b) {
       const double bit_weight = static_cast<double>(std::uint64_t{1} << b);
@@ -139,7 +338,8 @@ std::vector<double> Crossbar::compute_bit_serial(
         const auto& pos = levels_[s][0];
         const auto& neg = levels_[s][1];
         // Integrate bitline currents for this spike cycle.
-        std::vector<double> col_pos(c_, 0.0), col_neg(c_, 0.0);
+        std::fill(col_pos, col_pos + c_, 0.0);
+        std::fill(col_neg, col_neg + c_, 0.0);
         for (std::size_t i = 0; i < r_; ++i) {
           const std::int64_t xi = x_int[i];
           const bool this_phase = (phase == 0) ? (xi > 0) : (xi < 0);
@@ -169,7 +369,6 @@ std::vector<double> Crossbar::compute_bit_serial(
       }
     }
   }
-  return acc;
 }
 
 }  // namespace reramdl::circuit

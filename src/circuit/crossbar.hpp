@@ -16,6 +16,18 @@
 // Two evaluation paths produce identical results when no I&F counter
 // saturates (asserted by property tests): a fast integer path, and an exact
 // bit-serial emulation that models every spike cycle and counter clamp.
+//
+// The fast path evaluates against a *collapsed* effective differential
+// weight matrix precomputed at program() time,
+//   W_eff[i,j] = sum_s 2^(s*bpc) * (pos_s[i,j] - neg_s[i,j]),
+// each element accumulated in slice-ascending order — algebraically and
+// bit-for-bit what the per-MVM slice walk produces (compute_reference keeps
+// that walk as the validation oracle). W_eff is rebuilt whenever the stored
+// levels change (program / apply_drift). Batches of input rows evaluate
+// through compute_batch, which quantizes all rows once and runs a
+// cache-blocked kernel that keeps each row's accumulation order identical
+// to the single-vector path, so batched and looped execution are
+// bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +57,14 @@ struct CrossbarStats {
   std::uint64_t compute_ops = 0;      // MVM activations
   std::uint64_t input_spikes = 0;     // total '1' spikes driven
   std::uint64_t saturated_counters = 0;
+
+  CrossbarStats& operator+=(const CrossbarStats& o) {
+    programmed_cells += o.programmed_cells;
+    compute_ops += o.compute_ops;
+    input_spikes += o.input_spikes;
+    saturated_counters += o.saturated_counters;
+    return *this;
+  }
 };
 
 class Crossbar {
@@ -61,25 +81,79 @@ class Crossbar {
   // outputs in float. The crossbar must be programmed first.
   std::vector<float> compute(const std::vector<float>& x, double x_max);
 
+  // Allocation-free variant: reads n == active_rows() inputs from x and
+  // writes active_cols() outputs to y.
+  void compute(const float* x, std::size_t n, double x_max, float* y);
+
+  // Batched MVM: rows is [m, active_rows()], returns [m, active_cols()].
+  // Bit-identical to m single-vector compute() calls, with identical
+  // aggregate stats (compute_ops advances by m).
+  Tensor compute_batch(const Tensor& rows, double x_max);
+
+  // Stats-free batched fast-path kernel for one block of rows, used by
+  // CrossbarGrid to fan (tile x row-block) work items out to the thread
+  // pool without racing on stats_: reads rows[b * row_stride + i], writes
+  // out[b * out_stride + j], and accumulates this block's stats into
+  // `delta` for the caller to merge_stats() serially. Requires
+  // !config().bit_serial (the cycle-accurate path stays per-vector).
+  void compute_batch_block(const float* rows, std::size_t m,
+                           std::size_t row_stride, double x_max, float* out,
+                           std::size_t out_stride, CrossbarStats& delta) const;
+
+  // The two halves of compute_batch_block, split so CrossbarGrid can
+  // quantize each row-strip of the input once and share the result across
+  // that strip's column tiles (every tile of a strip drives the same
+  // quantized spikes).
+  //
+  // quantize_batch fills xt with the block transposed to [active_rows()][m]
+  // (xt[i * m + b]) and returns the total spike count, i.e. the popcount sum
+  // this tile would have attributed to input_spikes.
+  std::uint64_t quantize_batch(const float* rows, std::size_t m,
+                               std::size_t row_stride, double x_max,
+                               double* xt) const;
+  // Runs the collapsed cache-blocked kernel on a pre-quantized transposed
+  // block and scales into out; advances delta.compute_ops by m only — the
+  // caller credits input_spikes from quantize_batch's return value.
+  void compute_batch_prequant(const double* xt, std::size_t m, double x_max,
+                              float* out, std::size_t out_stride,
+                              CrossbarStats& delta) const;
+
+  // Reference slice-walk evaluation of the fast path: recomputes the
+  // differential collapse per (i, j) from the stored slice levels instead
+  // of reading the precomputed W_eff. Bit-identical to compute() (without
+  // bit_serial) by construction; kept as the validation oracle for the
+  // collapsed matrix. Does not touch stats.
+  std::vector<float> compute_reference(const std::vector<float>& x,
+                                       double x_max) const;
+
   // Apply a multiplicative retention-drift factor to every stored level
   // (device::RetentionModel::drift_factor); models inference after the
-  // arrays have aged `t` without reprogramming.
+  // arrays have aged `t` without reprogramming. Rebuilds W_eff.
   void apply_drift(double factor);
+
+  // Fold an externally accumulated stats delta (from compute_batch_block)
+  // into this array's counters.
+  void merge_stats(const CrossbarStats& delta) { stats_ += delta; }
 
   const CrossbarConfig& config() const { return config_; }
   const CrossbarStats& stats() const { return stats_; }
   std::size_t active_rows() const { return r_; }
   std::size_t active_cols() const { return c_; }
+  // Collapsed effective differential weights, row-major [r, c] integer
+  // levels (scaled by drift/variation where applied).
+  const std::vector<double>& effective_weights() const { return w_eff_; }
 
  private:
-  std::vector<double> compute_fast(const std::vector<std::int64_t>& x_int) const;
-  std::vector<double> compute_bit_serial(const std::vector<std::int64_t>& x_int);
+  void rebuild_w_eff();
+  void compute_bit_serial(const std::int64_t* x_int, double* acc);
 
   CrossbarConfig config_;
   std::size_t r_ = 0, c_ = 0;
   double w_max_ = 0.0;
   // Effective per-cell levels: [slice][polarity(0=pos,1=neg)][r * c_].
   std::vector<std::vector<std::vector<double>>> levels_;
+  // Collapsed differential weights [r * c_]; see header comment.
+  std::vector<double> w_eff_;
   CrossbarStats stats_;
 };
 

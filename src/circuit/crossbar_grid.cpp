@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::circuit {
@@ -53,31 +54,155 @@ std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
 
   // Every (row_tile, col_tile) partial-sum MVM is independent — each tile is
   // its own Crossbar with its own stats — so they dispatch to the pool as a
-  // flat tile index. The vertical add below runs serially afterwards in a
-  // fixed row-tile-ascending order (the paper's horizontal-collect /
-  // vertical-add of Fig. 3), keeping the result bit-identical for any
-  // thread count.
-  std::vector<std::vector<float>> partials(arrays_.size());
+  // flat tile index, each reading its input segment in place (pointer +
+  // length, no per-tile copy) and writing into a config_.cols-strided slot
+  // of a reused scratch buffer. The vertical add below runs serially
+  // afterwards in a fixed row-tile-ascending order (the paper's
+  // horizontal-collect / vertical-add of Fig. 3), keeping the result
+  // bit-identical for any thread count.
+  scratch::Buffer<float> partials(arrays_.size() * config_.cols);
   parallel::parallel_for(0, arrays_.size(), 1, [&](std::size_t t0, std::size_t t1) {
     for (std::size_t t = t0; t < t1; ++t) {
       const std::size_t rt = t / col_tiles_;
       const std::size_t r0 = rt * config_.rows;
-      const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
-      const std::vector<float> xin(x.begin() + static_cast<long>(r0),
-                                   x.begin() + static_cast<long>(r1));
-      partials[t] = arrays_[t].compute(xin, x_max);
+      arrays_[t].compute(x.data() + r0, arrays_[t].active_rows(), x_max,
+                         partials.data() + t * config_.cols);
     }
   });
 
   std::vector<float> y(total_cols_, 0.0f);
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t t = rt * col_tiles_ + ct;
       const std::size_t c0 = ct * config_.cols;
-      const std::vector<float>& partial = partials[rt * col_tiles_ + ct];
-      for (std::size_t j = 0; j < partial.size(); ++j) y[c0 + j] += partial[j];
+      const float* partial = partials.data() + t * config_.cols;
+      const std::size_t cw = arrays_[t].active_cols();
+      for (std::size_t j = 0; j < cw; ++j) y[c0 + j] += partial[j];
     }
   }
   return y;
+}
+
+Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max) {
+  RERAMDL_CHECK_EQ(rows.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(rows.shape()[1], total_rows_);
+  RERAMDL_CHECK(!arrays_.empty());
+  const std::size_t m = rows.shape()[0];
+  Tensor out(Shape{m, total_cols_});
+  if (m == 0) return out;
+
+  RERAMDL_TRACE_SCOPE("xbar.compute_batch", "circuit");
+  obs::ScopedHistogramTimer obs_timer("xbar.batch_mvm_ns");
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& batches = reg.counter("xbar.batch_mvms");
+    static obs::Counter& rows_c = reg.counter("xbar.batch_rows");
+    static obs::Counter& tiles = reg.counter("xbar.tile_mvms");
+    static obs::Histogram& sizes = reg.histogram("xbar.batch_size");
+    batches.add();
+    rows_c.add(m);
+    tiles.add(arrays_.size() * m);
+    sizes.record(static_cast<double>(m));
+  }
+
+  if (config_.bit_serial) {
+    // The cycle-accurate emulation stays per-vector (compute() already
+    // fans its tiles out to the pool).
+    for (std::size_t b = 0; b < m; ++b) {
+      const float* xrow = rows.data() + b * total_rows_;
+      const std::vector<float> y =
+          compute(std::vector<float>(xrow, xrow + total_rows_), x_max);
+      std::copy(y.begin(), y.end(), out.data() + b * total_cols_);
+    }
+    return out;
+  }
+
+  // Row-block size per work item (matches the Crossbar kernel's W_eff reuse
+  // window) and a cap on the partial-sum staging buffer; the batch is
+  // processed in macro-chunks so arbitrarily large m (im2col row counts)
+  // keeps bounded memory. Neither affects results: per-row arithmetic is
+  // independent and the merge order below is fixed.
+  constexpr std::size_t kBlock = 32;
+  constexpr std::size_t kMaxPartialFloats = 8u << 20;  // 32 MiB staging cap
+  const std::size_t per_row = arrays_.size() * config_.cols;
+  std::size_t chunk = std::max<std::size_t>(
+      kBlock, kMaxPartialFloats / std::max<std::size_t>(per_row, 1));
+  chunk = std::min(chunk, m);
+
+  const std::size_t max_blocks = (chunk + kBlock - 1) / kBlock;
+  scratch::Buffer<float> partials(arrays_.size() * chunk * config_.cols);
+  // Quantized transposed input blocks, one region per (row-strip,
+  // row-block). Every column tile of a strip sees the same input segment,
+  // so quantization (division + llround + popcount per element — measurable
+  // at batch scale) runs once per strip instead of once per tile.
+  scratch::Buffer<double> xt(row_tiles_ * max_blocks * config_.rows * kBlock);
+  std::vector<std::uint64_t> strip_spikes;
+  std::vector<CrossbarStats> deltas;
+  for (std::size_t b0 = 0; b0 < m; b0 += chunk) {
+    const std::size_t cm = std::min(chunk, m - b0);
+    const std::size_t nblocks = (cm + kBlock - 1) / kBlock;
+    const std::size_t qitems = row_tiles_ * nblocks;
+    const std::size_t items = arrays_.size() * nblocks;
+    strip_spikes.assign(qitems, 0);
+    deltas.assign(items, CrossbarStats{});
+
+    // Phase 1 — one work item per (row-strip, row-block): quantize the
+    // block's input segment into its transposed staging slot and record the
+    // strip's spike popcount.
+    parallel::parallel_for(0, qitems, 1, [&](std::size_t w0, std::size_t w1) {
+      for (std::size_t w = w0; w < w1; ++w) {
+        const std::size_t rt = w / nblocks;
+        const std::size_t blk = w % nblocks;
+        const std::size_t r0 = rt * config_.rows;
+        const std::size_t bb = blk * kBlock;
+        const std::size_t bm = std::min(kBlock, cm - bb);
+        strip_spikes[w] = arrays_[rt * col_tiles_].quantize_batch(
+            rows.data() + (b0 + bb) * total_rows_ + r0, bm, total_rows_,
+            x_max, xt.data() + w * config_.rows * kBlock);
+      }
+    });
+
+    // Phase 2 — one work item per (tile, row-block): run the collapsed
+    // blocked kernel on the shared pre-quantized block. Writes land in
+    // disjoint partial slots; stats accumulate into per-item deltas (each
+    // tile credited with its strip's spike count, exactly what it would
+    // have counted quantizing its own slice) and merge serially after.
+    parallel::parallel_for(0, items, 1, [&](std::size_t w0, std::size_t w1) {
+      for (std::size_t w = w0; w < w1; ++w) {
+        const std::size_t t = w / nblocks;
+        const std::size_t blk = w % nblocks;
+        const std::size_t rt = t / col_tiles_;
+        const std::size_t bb = blk * kBlock;
+        const std::size_t bm = std::min(kBlock, cm - bb);
+        const std::size_t q = rt * nblocks + blk;
+        deltas[w].input_spikes += strip_spikes[q];
+        arrays_[t].compute_batch_prequant(
+            xt.data() + q * config_.rows * kBlock, bm,
+            x_max, partials.data() + (t * chunk + bb) * config_.cols,
+            config_.cols, deltas[w]);
+      }
+    });
+
+    for (std::size_t w = 0; w < items; ++w)
+      arrays_[w / nblocks].merge_stats(deltas[w]);
+
+    // Vertical add in row-tile-ascending order per output element — the
+    // same fixed merge the per-vector path uses.
+    for (std::size_t b = 0; b < cm; ++b) {
+      float* orow = out.data() + (b0 + b) * total_cols_;
+      for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+        for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+          const std::size_t t = rt * col_tiles_ + ct;
+          const std::size_t c0 = ct * config_.cols;
+          const float* partial =
+              partials.data() + (t * chunk + b) * config_.cols;
+          const std::size_t cw = arrays_[t].active_cols();
+          for (std::size_t j = 0; j < cw; ++j) orow[c0 + j] += partial[j];
+        }
+      }
+    }
+  }
+  return out;
 }
 
 void CrossbarGrid::apply_drift(double factor) {
@@ -86,12 +211,7 @@ void CrossbarGrid::apply_drift(double factor) {
 
 CrossbarStats CrossbarGrid::aggregate_stats() const {
   CrossbarStats total;
-  for (const auto& a : arrays_) {
-    total.programmed_cells += a.stats().programmed_cells;
-    total.compute_ops += a.stats().compute_ops;
-    total.input_spikes += a.stats().input_spikes;
-    total.saturated_counters += a.stats().saturated_counters;
-  }
+  for (const auto& a : arrays_) total += a.stats();
   return total;
 }
 

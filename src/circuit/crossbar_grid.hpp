@@ -23,6 +23,15 @@ class CrossbarGrid {
   // row-tile order, so results are bit-identical for any RERAMDL_THREADS.
   std::vector<float> compute(const std::vector<float>& x, double x_max);
 
+  // Batched MVM fast path: rows is [m, R], returns [m, C]. All rows are
+  // quantized once per tile and evaluated by the collapsed-W_eff blocked
+  // kernel, parallelized over (tile x batch row-block) work items instead
+  // of tiles alone; per-block stats deltas merge serially and the vertical
+  // add runs in fixed row-tile order, so outputs AND aggregate stats are
+  // identical to m compute() calls, for any RERAMDL_THREADS. Falls back to
+  // per-vector compute() when config().bit_serial.
+  Tensor compute_batch(const Tensor& rows, double x_max);
+
   // Age every array (retention drift).
   void apply_drift(double factor);
 

@@ -1,0 +1,76 @@
+// Thread-local scratch buffers: reusable allocation-free temporaries for hot
+// kernels (matmul accumulator panels, crossbar partial sums, quantized input
+// staging).
+//
+// Buffer<T> checks a vector out of a per-thread free list on construction
+// and returns it on destruction, so a kernel that runs a million times pays
+// for at most a handful of allocations per worker thread — after warm-up the
+// checkout is a pointer swap. Contents are unspecified on checkout (the
+// previous user's data may still be there); callers that need zeros fill
+// explicitly, exactly as they would with a fresh allocation they intend to
+// reuse.
+//
+// Concurrency: the pool is thread_local, so checkouts never contend and the
+// facility is trivially TSan-clean. Nested checkouts on one thread receive
+// distinct vectors (the free list simply runs dry and allocates). Pool
+// worker threads keep their cached buffers for the life of the worker; a
+// pool resize (parallel::set_thread_count) retires workers and frees their
+// caches via normal TLS destruction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace reramdl::scratch {
+
+namespace detail {
+
+template <typename T>
+inline std::vector<std::vector<T>>& tls_pool() {
+  thread_local std::vector<std::vector<T>> pool;
+  return pool;
+}
+
+}  // namespace detail
+
+template <typename T>
+class Buffer {
+ public:
+  explicit Buffer(std::size_t n) : size_(n) {
+    auto& pool = detail::tls_pool<T>();
+    if (!pool.empty()) {
+      v_ = std::move(pool.back());
+      pool.pop_back();
+    }
+    if (v_.size() < n) v_.resize(n);
+  }
+
+  ~Buffer() {
+    auto& pool = detail::tls_pool<T>();
+    // Cap the free list so pathological checkout patterns can't hoard
+    // memory; steady-state kernels use far fewer simultaneous buffers.
+    if (pool.size() < kMaxPooled) pool.push_back(std::move(v_));
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+  std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) { return v_[i]; }
+  const T& operator[](std::size_t i) const { return v_[i]; }
+
+  T* begin() { return v_.data(); }
+  T* end() { return v_.data() + size_; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 8;
+
+  std::vector<T> v_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace reramdl::scratch

@@ -20,21 +20,16 @@ struct CrossbarExecutor::Binding {
     circuit::CrossbarGrid* g = grid;
     auto hook = [g](const Tensor& rows, const Tensor& weights) -> Tensor {
       RERAMDL_CHECK_EQ(rows.shape().rank(), 2u);
-      const std::size_t m = rows.shape()[0], k = rows.shape()[1];
-      RERAMDL_CHECK_EQ(k, g->total_rows());
+      RERAMDL_CHECK_EQ(rows.shape()[1], g->total_rows());
       RERAMDL_CHECK_EQ(weights.shape()[1], g->total_cols());
       // Per-call dynamic input range, as the spike drivers rescale per layer.
       double x_max = 1e-12;
       for (std::size_t i = 0; i < rows.numel(); ++i)
         x_max = std::max(x_max, static_cast<double>(std::abs(rows[i])));
-      Tensor out(Shape{m, g->total_cols()});
-      std::vector<float> x(k);
-      for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < k; ++j) x[j] = rows.at(i, j);
-        const std::vector<float> y = g->compute(x, x_max);
-        for (std::size_t j = 0; j < y.size(); ++j) out.at(i, j) = y[j];
-      }
-      return out;
+      // Batched fast path: the whole activation matrix dispatches as one
+      // (tile x row-block) grid job — bit-identical to looping compute()
+      // per row, without the per-row copies and per-row pool regions.
+      return g->compute_batch(rows, x_max);
     };
     if (auto* d = dynamic_cast<nn::Dense*>(layer)) d->set_forward_matmul(hook);
     else if (auto* c = dynamic_cast<nn::Conv2D*>(layer)) c->set_forward_matmul(hook);
@@ -108,13 +103,7 @@ const circuit::CrossbarGrid& CrossbarExecutor::grid(std::size_t i) const {
 
 circuit::CrossbarStats CrossbarExecutor::aggregate_stats() const {
   circuit::CrossbarStats total;
-  for (const auto& g : grids_) {
-    const auto s = g->aggregate_stats();
-    total.programmed_cells += s.programmed_cells;
-    total.compute_ops += s.compute_ops;
-    total.input_spikes += s.input_spikes;
-    total.saturated_counters += s.saturated_counters;
-  }
+  for (const auto& g : grids_) total += g->aggregate_stats();
   return total;
 }
 

@@ -1,8 +1,5 @@
 #include "device/quantizer.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/check.hpp"
 
 namespace reramdl::device {
@@ -10,25 +7,11 @@ namespace reramdl::device {
 LinearQuantizer::LinearQuantizer(std::size_t bits, double max_abs)
     : bits_(bits),
       max_level_((std::int64_t{1} << bits) - 1),
-      max_abs_(max_abs) {
+      max_abs_(max_abs),
+      step_(max_abs / static_cast<double>(max_level_)) {
   RERAMDL_CHECK_GE(bits, 1u);
   RERAMDL_CHECK_LE(bits, 31u);
   RERAMDL_CHECK_GT(max_abs, 0.0);
-}
-
-double LinearQuantizer::step() const {
-  return max_abs_ / static_cast<double>(max_level_);
-}
-
-std::int64_t LinearQuantizer::quantize(double value) const {
-  const double scaled = value / step();
-  const double clamped = std::clamp(scaled, -static_cast<double>(max_level_),
-                                    static_cast<double>(max_level_));
-  return static_cast<std::int64_t>(std::llround(clamped));
-}
-
-double LinearQuantizer::dequantize(std::int64_t level) const {
-  return static_cast<double>(level) * step();
 }
 
 std::vector<std::uint32_t> bit_slice(std::uint64_t magnitude,

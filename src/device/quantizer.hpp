@@ -6,6 +6,8 @@
 // the ISAAC-style composition PipeLayer adopts.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstddef>
 #include <vector>
@@ -21,17 +23,29 @@ class LinearQuantizer {
   std::size_t bits() const { return bits_; }
   std::int64_t max_level() const { return max_level_; }
   double max_abs() const { return max_abs_; }
-  double step() const;  // value represented by one level
+  double step() const { return step_; }  // value represented by one level
 
-  // value -> signed integer level in [-max_level, max_level].
-  std::int64_t quantize(double value) const;
+  // value -> signed integer level in [-max_level, max_level]. Inline with a
+  // step cached at construction: the batched crossbar path quantizes every
+  // input element through this, so the per-call division-to-recompute-step
+  // and the cross-TU call were measurable. The arithmetic is unchanged
+  // (division by the identical precomputed double).
+  std::int64_t quantize(double value) const {
+    const double scaled = value / step_;
+    const double clamped = std::clamp(scaled, -static_cast<double>(max_level_),
+                                      static_cast<double>(max_level_));
+    return static_cast<std::int64_t>(std::llround(clamped));
+  }
   // signed integer level -> value.
-  double dequantize(std::int64_t level) const;
+  double dequantize(std::int64_t level) const {
+    return static_cast<double>(level) * step_;
+  }
 
  private:
   std::size_t bits_;
   std::int64_t max_level_;
   double max_abs_;
+  double step_;
 };
 
 // Split an unsigned magnitude into little-endian slices of bits_per_slice

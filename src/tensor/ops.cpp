@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::ops {
@@ -50,7 +51,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = c.data();
   parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
-    std::vector<double> acc(kBlockM * kBlockN);
+    // Thread-local scratch: the accumulator panel is reused across calls on
+    // each worker instead of heap-allocated per row block.
+    scratch::Buffer<double> acc(kBlockM * kBlockN);
     for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
       const std::size_t j1 = std::min(j0 + kBlockN, n);
       const std::size_t bn = j1 - j0;
@@ -125,7 +128,7 @@ Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
   // blocks keeps output writes disjoint; the i (reduction) loop stays
   // ascending inside each block for a fixed double-accumulation order.
   parallel::parallel_for(0, k, kBlockM, [&](std::size_t p0, std::size_t p1) {
-    std::vector<double> acc(kBlockM * kBlockN);
+    scratch::Buffer<double> acc(kBlockM * kBlockN);
     for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
       const std::size_t j1 = std::min(j0 + kBlockN, n);
       const std::size_t bn = j1 - j0;

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/scratch.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -196,6 +197,41 @@ TEST(Table, FormatsNumbers) {
 TEST(Units, PowerFromEnergyAndTime) {
   // 1000 pJ over 1000 ns = 1 mW.
   EXPECT_NEAR(units::watts(1000.0, 1000.0), 1e-3, 1e-15);
+}
+
+TEST(Scratch, ReusesBufferAfterRelease) {
+  const double* p = nullptr;
+  {
+    scratch::Buffer<double> a(128);
+    p = a.data();
+  }
+  // Same thread, same or smaller size: the freed buffer comes back without
+  // a reallocation.
+  scratch::Buffer<double> b(64);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 64u);
+}
+
+TEST(Scratch, NestedCheckoutsAreDistinct) {
+  scratch::Buffer<int> a(16);
+  scratch::Buffer<int> b(16);
+  EXPECT_NE(a.data(), b.data());
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<int>(i);
+    b[i] = static_cast<int>(100 + i);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], static_cast<int>(i));
+    EXPECT_EQ(b[i], static_cast<int>(100 + i));
+  }
+}
+
+TEST(Scratch, GrowsWhenCheckedOutLarger) {
+  { scratch::Buffer<float> small(8); }
+  scratch::Buffer<float> big(1024);
+  EXPECT_EQ(big.size(), 1024u);
+  big[1023] = 1.5f;
+  EXPECT_EQ(big[1023], 1.5f);
 }
 
 }  // namespace
