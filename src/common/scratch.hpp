@@ -18,11 +18,53 @@
 // caches via normal TLS destruction.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace reramdl::scratch {
+
+// ---- Arena accounting -------------------------------------------------------
+//
+// Process-wide byte ledger for the training-step workspace arenas
+// (tensor/workspace.hpp). Every arena reports capacity growth here, so tests
+// and the training bench can assert the zero-steady-state-allocation
+// property globally: after the warm-up batch, arena_growth_events() must
+// stop moving. Plain relaxed atomics — the ledger is a diagnostic, ordering
+// against the allocations themselves doesn't matter.
+
+namespace detail {
+inline std::atomic<std::size_t>& arena_bytes() {
+  static std::atomic<std::size_t> v{0};
+  return v;
+}
+inline std::atomic<std::uint64_t>& arena_growths() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+}  // namespace detail
+
+inline void arena_account_grow(std::size_t delta_bytes) {
+  if (delta_bytes == 0) return;
+  detail::arena_bytes().fetch_add(delta_bytes, std::memory_order_relaxed);
+  detail::arena_growths().fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void arena_account_release(std::size_t bytes) {
+  detail::arena_bytes().fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+// Total bytes currently reserved across all live arenas.
+inline std::size_t arena_bytes_reserved() {
+  return detail::arena_bytes().load(std::memory_order_relaxed);
+}
+
+// Number of capacity-growth events since process start (never decreases).
+inline std::uint64_t arena_growth_events() {
+  return detail::arena_growths().load(std::memory_order_relaxed);
+}
 
 namespace detail {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/transposed_conv2d.hpp"
@@ -23,9 +24,17 @@ struct CrossbarExecutor::Binding {
       RERAMDL_CHECK_EQ(rows.shape()[1], g->total_rows());
       RERAMDL_CHECK_EQ(weights.shape()[1], g->total_cols());
       // Per-call dynamic input range, as the spike drivers rescale per layer.
-      double x_max = 1e-12;
-      for (std::size_t i = 0; i < rows.numel(); ++i)
-        x_max = std::max(x_max, static_cast<double>(std::abs(rows[i])));
+      // Max is insensitive to association order, so the parallel reduce is
+      // exact for any thread count.
+      const double x_max = parallel::parallel_reduce(
+          0, rows.numel(), 65536, 1e-12,
+          [&](std::size_t i0, std::size_t i1) {
+            double m = 1e-12;
+            for (std::size_t i = i0; i < i1; ++i)
+              m = std::max(m, static_cast<double>(std::abs(rows[i])));
+            return m;
+          },
+          [](double a, double b) { return std::max(a, b); });
       // Batched fast path: the whole activation matrix dispatches as one
       // (tile x row-block) grid job — bit-identical to looping compute()
       // per row, without the per-row copies and per-row pool regions.

@@ -6,7 +6,9 @@
 
 #include "nn/dense.hpp"
 #include "nn/layer.hpp"
+#include "tensor/conv_plan.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/workspace.hpp"
 
 namespace reramdl::nn {
 
@@ -35,12 +37,24 @@ class Conv2D : public Layer {
   std::size_t out_channels() const { return out_c_; }
 
  private:
+  // Builds the gather/scatter index plans on first use and keys the cached
+  // execution plan on the batch size (plan::count_cache hit/miss).
+  void ensure_plan(std::size_t batch);
+
   ConvGeometry geom_;
   std::size_t out_c_;
   Tensor w_, b_, gw_, gb_;
   Tensor cached_cols_;
   std::size_t cached_batch_ = 0;
   MatmulFn matmul_fn_;
+  // Training-step fast path (plan::enabled()): precomputed im2col/col2im
+  // index plans plus an arena of reusable workspace tensors.
+  Im2ColPlan im2col_plan_;
+  Col2ImPlan col2im_plan_;
+  bool plan_built_ = false;
+  std::size_t planned_batch_ = 0;
+  bool used_plan_ = false;  // which path the last train-forward took
+  Workspace ws_;
 };
 
 // Shared helpers between Conv2D and TransposedConv2D.
@@ -50,6 +64,21 @@ Tensor rows_to_nchw(const Tensor& rows, std::size_t n, std::size_t out_c,
                     std::size_t oh, std::size_t ow);
 // [N, out_c, oh, ow] -> [N*oh*ow, out_c].
 Tensor nchw_to_rows(const Tensor& x);
+// As nchw_to_rows, but writes into `rows` (already shaped [N*oh*ow, c]).
+void nchw_to_rows_into(const Tensor& x, Tensor& rows);
+
+// Workspace slot layout shared by Conv2D and TransposedConv2D. kCols holds
+// the training-forward patch matrix (consumed again by backward); eval-mode
+// forwards stage in kColsEval so they never clobber the training cache,
+// matching the legacy cached_cols_ semantics.
+enum WsSlot : std::size_t {
+  kWsCols = 0,
+  kWsColsEval,
+  kWsRows,
+  kWsGrows,
+  kWsWt,
+  kWsGcols,
+};
 }  // namespace detail
 
 }  // namespace reramdl::nn

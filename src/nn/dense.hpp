@@ -6,6 +6,8 @@
 #include <functional>
 
 #include "nn/layer.hpp"
+#include "tensor/conv_plan.hpp"
+#include "tensor/workspace.hpp"
 
 namespace reramdl::nn {
 
@@ -45,6 +47,9 @@ class Dense : public Layer {
   Tensor w_, b_, gw_, gb_;
   Tensor cached_input_;
   MatmulFn matmul_fn_;
+  // Fast-path workspace (plan::enabled()): holds the transposed-weight panel
+  // for the vectorizable input-gradient product.
+  Workspace ws_;
 };
 
 }  // namespace reramdl::nn

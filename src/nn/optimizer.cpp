@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace reramdl::nn {
 
@@ -22,10 +23,14 @@ void Sgd::step() {
     const Tensor& g = *params_[i].grad;
     Tensor& v = velocity_[i];
     RERAMDL_CHECK_EQ(w.numel(), g.numel());
-    for (std::size_t j = 0; j < w.numel(); ++j) {
-      v[j] = momentum_ * v[j] - lr_ * g[j];
-      w[j] += v[j];
-    }
+    // Purely elementwise, so any chunking is bit-identical.
+    parallel::parallel_for(0, w.numel(), 4096,
+                           [&](std::size_t j0, std::size_t j1) {
+                             for (std::size_t j = j0; j < j1; ++j) {
+                               v[j] = momentum_ * v[j] - lr_ * g[j];
+                               w[j] += v[j];
+                             }
+                           });
   }
 }
 
@@ -49,13 +54,18 @@ void Adam::step() {
     Tensor& w = *params_[i].value;
     const Tensor& g = *params_[i].grad;
     RERAMDL_CHECK_EQ(w.numel(), g.numel());
-    for (std::size_t j = 0; j < w.numel(); ++j) {
-      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
-      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
-      const double mh = m_[i][j] / bc1;
-      const double vh = v_[i][j] / bc2;
-      w[j] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
-    }
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    parallel::parallel_for(
+        0, w.numel(), 4096, [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const double mh = m[j] / bc1;
+            const double vh = v[j] / bc2;
+            w[j] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+          }
+        });
   }
 }
 

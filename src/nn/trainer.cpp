@@ -1,6 +1,9 @@
 #include "nn/trainer.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "common/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::nn {
@@ -20,20 +23,36 @@ Tensor slice_batch(const Tensor& data, std::size_t first, std::size_t count) {
 
 namespace {
 
-Tensor gather_batch(const Tensor& data, const std::vector<std::size_t>& order,
-                    std::size_t first, std::size_t count) {
+void slice_batch_into(const Tensor& data, std::size_t first, std::size_t count,
+                      Tensor& out) {
+  RERAMDL_CHECK_GE(data.shape().rank(), 1u);
   const std::size_t n = data.shape()[0];
-  std::vector<std::size_t> dims = data.shape().dims();
-  dims[0] = count;
-  Tensor out{Shape(dims)};
+  RERAMDL_CHECK_LE(first + count, n);
+  const std::size_t sample = data.numel() / n;
+  for (std::size_t i = 0; i < count * sample; ++i)
+    out[i] = data[first * sample + i];
+}
+
+void gather_batch_into(const Tensor& data,
+                       const std::vector<std::size_t>& order,
+                       std::size_t first, std::size_t count, Tensor& out) {
+  const std::size_t n = data.shape()[0];
   const std::size_t sample = data.numel() / n;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t src = order[first + i];
     for (std::size_t j = 0; j < sample; ++j)
       out[i * sample + j] = data[src * sample + j];
   }
-  return out;
 }
+
+Shape batch_shape(const Tensor& data, std::size_t count) {
+  std::vector<std::size_t> dims = data.shape().dims();
+  dims[0] = count;
+  return Shape(dims);
+}
+
+// Staging slots in the trainer's workspace.
+enum : std::size_t { kStageTrain = 0, kStageEval = 1 };
 
 }  // namespace
 
@@ -45,28 +64,33 @@ EpochStats Trainer::train_epoch(const Tensor& images,
   const std::size_t n = images.shape()[0];
   RERAMDL_CHECK_EQ(labels.size(), n);
   RERAMDL_CHECK_GT(batch_size, 0u);
+  RERAMDL_CHECK_GT(n, 0u);
   const auto order = shuffled_indices(n, rng);
 
   EpochStats stats;
   double loss_sum = 0.0, acc_sum = 0.0;
-  for (std::size_t first = 0; first + batch_size <= n; first += batch_size) {
-    Tensor xb = gather_batch(images, order, first, batch_size);
-    std::vector<std::size_t> yb(batch_size);
-    for (std::size_t i = 0; i < batch_size; ++i) yb[i] = labels[order[first + i]];
+  for (std::size_t first = 0; first < n; first += batch_size) {
+    const std::size_t count = std::min(batch_size, n - first);
+    obs::ScopedHistogramTimer step_timer("train.step_ns");
+    Tensor& xb = ws_.tensor(kStageTrain, batch_shape(images, count));
+    gather_batch_into(images, order, first, count, xb);
+    yb_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) yb_[i] = labels[order[first + i]];
 
     opt_.zero_grad();
     Tensor logits = net_.forward(xb, /*train=*/true);
-    LossResult r = softmax_cross_entropy(logits, yb);
+    LossResult r = softmax_cross_entropy(logits, yb_);
     net_.backward(r.grad);
     opt_.step();
 
-    loss_sum += r.loss;
-    acc_sum += accuracy(logits, yb);
+    const double w = static_cast<double>(count);
+    loss_sum += r.loss * w;
+    acc_sum += accuracy(logits, yb_) * w;
     ++stats.batches;
+    stats.samples += count;
   }
-  RERAMDL_CHECK_GT(stats.batches, 0u);
-  stats.mean_loss = loss_sum / static_cast<double>(stats.batches);
-  stats.accuracy = acc_sum / static_cast<double>(stats.batches);
+  stats.mean_loss = loss_sum / static_cast<double>(stats.samples);
+  stats.accuracy = acc_sum / static_cast<double>(stats.samples);
   if (obs::metrics_enabled()) {
     auto& reg = obs::Registry::instance();
     static obs::Counter& epochs = reg.counter("train.epochs");
@@ -74,9 +98,11 @@ EpochStats Trainer::train_epoch(const Tensor& images,
     static obs::Counter& samples = reg.counter("train.samples");
     epochs.add();
     batches.add(stats.batches);
-    samples.add(stats.batches * batch_size);
+    samples.add(stats.samples);
     reg.gauge("train.last_loss").set(stats.mean_loss);
     reg.gauge("train.last_accuracy").set(stats.accuracy);
+    reg.gauge("arena.bytes_in_use")
+        .set(static_cast<double>(scratch::arena_bytes_reserved()));
   }
   return stats;
 }
@@ -87,21 +113,26 @@ EpochStats Trainer::evaluate(const Tensor& images,
   RERAMDL_TRACE_SCOPE("train.evaluate", "nn");
   const std::size_t n = images.shape()[0];
   RERAMDL_CHECK_EQ(labels.size(), n);
+  RERAMDL_CHECK_GT(batch_size, 0u);
+  RERAMDL_CHECK_GT(n, 0u);
   EpochStats stats;
   double loss_sum = 0.0, acc_sum = 0.0;
-  for (std::size_t first = 0; first + batch_size <= n; first += batch_size) {
-    Tensor xb = slice_batch(images, first, batch_size);
-    std::vector<std::size_t> yb(labels.begin() + static_cast<long>(first),
-                                labels.begin() + static_cast<long>(first + batch_size));
+  for (std::size_t first = 0; first < n; first += batch_size) {
+    const std::size_t count = std::min(batch_size, n - first);
+    Tensor& xb = ws_.tensor(kStageEval, batch_shape(images, count));
+    slice_batch_into(images, first, count, xb);
+    yb_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) yb_[i] = labels[first + i];
     Tensor logits = net_.forward(xb, /*train=*/false);
-    LossResult r = softmax_cross_entropy(logits, yb);
-    loss_sum += r.loss;
-    acc_sum += accuracy(logits, yb);
+    LossResult r = softmax_cross_entropy(logits, yb_);
+    const double w = static_cast<double>(count);
+    loss_sum += r.loss * w;
+    acc_sum += accuracy(logits, yb_) * w;
     ++stats.batches;
+    stats.samples += count;
   }
-  RERAMDL_CHECK_GT(stats.batches, 0u);
-  stats.mean_loss = loss_sum / static_cast<double>(stats.batches);
-  stats.accuracy = acc_sum / static_cast<double>(stats.batches);
+  stats.mean_loss = loss_sum / static_cast<double>(stats.samples);
+  stats.accuracy = acc_sum / static_cast<double>(stats.samples);
   return stats;
 }
 

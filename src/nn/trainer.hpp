@@ -10,6 +10,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
+#include "tensor/workspace.hpp"
 
 namespace reramdl::nn {
 
@@ -17,9 +18,10 @@ namespace reramdl::nn {
 Tensor slice_batch(const Tensor& data, std::size_t first, std::size_t count);
 
 struct EpochStats {
-  double mean_loss = 0.0;
+  double mean_loss = 0.0;  // sample-weighted mean over the epoch
   double accuracy = 0.0;
   std::size_t batches = 0;
+  std::size_t samples = 0;  // actual samples seen (includes a partial tail)
 };
 
 class Trainer {
@@ -27,6 +29,9 @@ class Trainer {
   Trainer(Sequential& net, Optimizer& opt) : net_(net), opt_(opt) {}
 
   // One pass over the data in shuffled order; labels parallel to axis 0.
+  // Every sample is visited: a final partial batch of n % batch_size
+  // samples still trains, and per-batch loss/accuracy are weighted by batch
+  // size so the epoch means stay exact.
   EpochStats train_epoch(const Tensor& images,
                          const std::vector<std::size_t>& labels,
                          std::size_t batch_size, Rng& rng);
@@ -38,6 +43,10 @@ class Trainer {
  private:
   Sequential& net_;
   Optimizer& opt_;
+  // Batch staging reused across iterations (grow-only; full batches re-fetch
+  // the same shape, so steady state performs no staging allocations).
+  Workspace ws_;
+  std::vector<std::size_t> yb_;
 };
 
 }  // namespace reramdl::nn

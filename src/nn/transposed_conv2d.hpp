@@ -8,7 +8,9 @@
 
 #include "nn/dense.hpp"
 #include "nn/layer.hpp"
+#include "tensor/conv_plan.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/workspace.hpp"
 
 namespace reramdl::nn {
 
@@ -34,6 +36,10 @@ class TransposedConv2D : public Layer {
   std::size_t out_w() const { return dilated_geom_.out_w(); }
 
  private:
+  // Builds the dilation-composed gather/scatter plans on first use and keys
+  // the cached execution plan on the batch size.
+  void ensure_plan(std::size_t batch);
+
   std::size_t in_c_, in_h_, in_w_, out_c_, k_, stride_, pad_;
   // Geometry of the equivalent stride-1 convolution over the dilated input.
   ConvGeometry dilated_geom_;
@@ -41,6 +47,15 @@ class TransposedConv2D : public Layer {
   Tensor cached_cols_;
   std::size_t cached_batch_ = 0;
   MatmulFn matmul_fn_;
+  // Plan-cached fast path: the dilated variants fold zero_insert /
+  // zero_insert_adjoint into the index tables, so neither direction ever
+  // materializes the zero-inserted tensor.
+  Im2ColPlan im2col_plan_;
+  Col2ImPlan col2im_plan_;
+  bool plan_built_ = false;
+  std::size_t planned_batch_ = 0;
+  bool used_plan_ = false;
+  Workspace ws_;
 };
 
 }  // namespace reramdl::nn

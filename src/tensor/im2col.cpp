@@ -73,26 +73,31 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
   const float* pc = cols.data();
   float* px = x.data();
   const std::size_t img = g.in_c * g.in_h * g.in_w;
-  // Patches of one sample overlap in the output image (stride < kernel), so
-  // the scatter-add only parallelizes across samples; per-sample
-  // accumulation order is unchanged, keeping results exact.
-  parallel::parallel_for(0, batch, 1, [&](std::size_t s0, std::size_t s1) {
-  for (std::size_t s = s0; s < s1; ++s) {
+  const std::size_t plane = g.in_h * g.in_w;
+  // Patches overlap spatially (stride < kernel) but never across channels,
+  // so the scatter-add parallelizes over (sample, channel) planes — the same
+  // block granularity im2col uses over its row space — instead of one whole
+  // sample per chunk. Each pixel still receives its contributions in
+  // (oy, ox)-ascending order, keeping results exact.
+  parallel::parallel_for(0, batch * g.in_c, 8, [&](std::size_t q0, std::size_t q1) {
+  for (std::size_t q = q0; q < q1; ++q) {
+    const std::size_t s = q / g.in_c;
+    const std::size_t c = q % g.in_c;
+    float* plane_px = px + s * img + c * plane;
     for (std::size_t oy = 0; oy < oh; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         const float* row = pc + ((s * oh + oy) * ow + ox) * psz;
-        for (std::size_t c = 0; c < g.in_c; ++c) {
-          for (std::size_t ky = 0; ky < g.kh; ++ky) {
-            const long iy = static_cast<long>(oy * g.stride + ky) -
+        for (std::size_t ky = 0; ky < g.kh; ++ky) {
+          const long iy = static_cast<long>(oy * g.stride + ky) -
+                          static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(g.in_h)) continue;
+          for (std::size_t kx = 0; kx < g.kw; ++kx) {
+            const long ix = static_cast<long>(ox * g.stride + kx) -
                             static_cast<long>(g.pad);
-            if (iy < 0 || iy >= static_cast<long>(g.in_h)) continue;
-            for (std::size_t kx = 0; kx < g.kw; ++kx) {
-              const long ix = static_cast<long>(ox * g.stride + kx) -
-                              static_cast<long>(g.pad);
-              if (ix < 0 || ix >= static_cast<long>(g.in_w)) continue;
-              px[s * img + (c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
-                 static_cast<std::size_t>(ix)] += row[(c * g.kh + ky) * g.kw + kx];
-            }
+            if (ix < 0 || ix >= static_cast<long>(g.in_w)) continue;
+            plane_px[static_cast<std::size_t>(iy) * g.in_w +
+                     static_cast<std::size_t>(ix)] +=
+                row[(c * g.kh + ky) * g.kw + kx];
           }
         }
       }

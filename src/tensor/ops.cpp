@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/scratch.hpp"
+#include "common/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::ops {
@@ -27,18 +28,125 @@ void obs_count_matmul(const char* variant, std::size_t m, std::size_t k,
   reg.counter(std::string("ops.") + variant + ".calls").add();
 }
 
-// Cache-blocking parameters shared by the three matmul variants. The M x N
-// output is tiled; each (row-block, col-block) tile accumulates over K in
-// panels through a local double buffer, so every product sums in double in
-// a fixed k-ascending order — bit-identical for any thread count, since the
+// Cache-blocking parameters shared by the matmul variants. The M x N output
+// is tiled; each (row-block, col-block) tile accumulates over K in panels
+// through a local double buffer, so every product sums in double in a fixed
+// k-ascending order — bit-identical for any thread count, since the
 // row-block decomposition depends only on the shapes.
 constexpr std::size_t kBlockM = 32;
 constexpr std::size_t kBlockN = 128;
 constexpr std::size_t kBlockK = 256;
 
+// Row-block bodies of the blocked kernels, extracted into free functions so
+// RERAMDL_TARGET_CLONES can vectorize them with runtime CPU dispatch. The
+// loop structure (and so the FP sequence of every output element) is
+// identical across clones; only the lane width differs.
+RERAMDL_TARGET_CLONES
+void matmul_row_block(const float* pa, const float* pb, float* pc,
+                      std::size_t i0, std::size_t i1, std::size_t k,
+                      std::size_t n, double* acc) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const std::size_t j1 = std::min(j0 + kBlockN, n);
+    const std::size_t bn = j1 - j0;
+    std::fill(acc, acc + (i1 - i0) * bn, 0.0);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* arow = acc + (i - i0) * bn;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double av = pa[i * k + p];
+          if (av == 0.0) continue;
+          const float* brow = pb + p * n + j0;
+          for (std::size_t j = 0; j < bn; ++j) arow[j] += av * brow[j];
+        }
+      }
+    }
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = acc + (i - i0) * bn;
+      float* crow = pc + i * n + j0;
+      for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
+    }
+  }
+}
+
+void matmul_kernel(const float* pa, const float* pb, float* pc, std::size_t m,
+                   std::size_t k, std::size_t n) {
+  parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
+    // Thread-local scratch: the accumulator panel is reused across calls on
+    // each worker instead of heap-allocated per row block.
+    scratch::Buffer<double> acc(kBlockM * kBlockN);
+    matmul_row_block(pa, pb, pc, i0, i1, k, n, acc.data());
+  });
+}
+
+RERAMDL_TARGET_CLONES
+void mm_tb_packed_row_block(const float* pa, const float* pbt, float* pc,
+                            std::size_t i0, std::size_t i1, std::size_t k,
+                            std::size_t n, double* acc) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const std::size_t j1 = std::min(j0 + kBlockN, n);
+    const std::size_t bn = j1 - j0;
+    std::fill(acc, acc + (i1 - i0) * bn, 0.0);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* arow = acc + (i - i0) * bn;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double av = pa[i * k + p];
+          const float* btrow = pbt + p * n + j0;
+          for (std::size_t j = 0; j < bn; ++j) arow[j] += av * btrow[j];
+        }
+      }
+    }
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = acc + (i - i0) * bn;
+      float* crow = pc + i * n + j0;
+      for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
+    }
+  }
+}
+
+RERAMDL_TARGET_CLONES
+void mm_ta_col_block(const float* pa, const float* pb, float* pc,
+                     std::size_t p0, std::size_t p1, std::size_t m,
+                     std::size_t k, std::size_t n, bool accumulate,
+                     double* acc) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const std::size_t j1 = std::min(j0 + kBlockN, n);
+    const std::size_t bn = j1 - j0;
+    std::fill(acc, acc + (p1 - p0) * bn, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + i * n + j0;
+      for (std::size_t p = p0; p < p1; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        double* crow = acc + (p - p0) * bn;
+        for (std::size_t j = 0; j < bn; ++j) crow[j] += av * brow[j];
+      }
+    }
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double* arow = acc + (p - p0) * bn;
+      float* crow = pc + p * n + j0;
+      if (accumulate)
+        for (std::size_t j = 0; j < bn; ++j)
+          crow[j] += static_cast<float>(arow[j]);
+      else
+        for (std::size_t j = 0; j < bn; ++j)
+          crow[j] = static_cast<float>(arow[j]);
+    }
+  }
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
   RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
   RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
@@ -46,38 +154,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   RERAMDL_TRACE_SCOPE("ops.matmul", "tensor");
   obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
   obs_count_matmul("matmul", m, k, n);
-  Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
-    // Thread-local scratch: the accumulator panel is reused across calls on
-    // each worker instead of heap-allocated per row block.
-    scratch::Buffer<double> acc(kBlockM * kBlockN);
-    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-      const std::size_t j1 = std::min(j0 + kBlockN, n);
-      const std::size_t bn = j1 - j0;
-      std::fill(acc.begin(), acc.begin() + (i1 - i0) * bn, 0.0);
-      for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-        const std::size_t p1 = std::min(p0 + kBlockK, k);
-        for (std::size_t i = i0; i < i1; ++i) {
-          double* arow = acc.data() + (i - i0) * bn;
-          for (std::size_t p = p0; p < p1; ++p) {
-            const double av = pa[i * k + p];
-            if (av == 0.0) continue;
-            const float* brow = pb + p * n + j0;
-            for (std::size_t j = 0; j < bn; ++j) arow[j] += av * brow[j];
-          }
-        }
-      }
-      for (std::size_t i = i0; i < i1; ++i) {
-        const double* arow = acc.data() + (i - i0) * bn;
-        float* crow = pc + i * n + j0;
-        for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
-      }
-    }
-  });
-  return c;
+  c.reuse(Shape{m, n});
+  matmul_kernel(a.data(), b.data(), c.data(), m, k, n);
 }
 
 Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
@@ -112,6 +190,55 @@ Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void matmul_transposed_b_packed_into(const Tensor& a, const Tensor& bt,
+                                     Tensor& c) {
+  RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(bt.shape().rank(), 2u);
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = bt.shape()[1];
+  RERAMDL_CHECK_EQ(bt.shape()[0], k);
+  RERAMDL_TRACE_SCOPE("ops.matmul_transposed_b_packed", "tensor");
+  obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
+  obs_count_matmul("matmul_transposed_b_packed", m, k, n);
+  c.reuse(Shape{m, n});
+  const float* pa = a.data();
+  const float* pbt = bt.data();
+  float* pc = c.data();
+  // Same shape as matmul_kernel, but NO zero-skip on a-elements: the dot
+  // form this replaces sums every k-term, and skipping av == 0.0 could flip
+  // a -0.0 accumulator to +0.0. The k-ascending double accumulation per
+  // output element reproduces the dot form's FP sequence exactly.
+  parallel::parallel_for(0, m, kBlockM, [&](std::size_t i0, std::size_t i1) {
+    scratch::Buffer<double> acc(kBlockM * kBlockN);
+    mm_tb_packed_row_block(pa, pbt, pc, i0, i1, k, n, acc.data());
+  });
+}
+
+Tensor matmul_transposed_b_packed(const Tensor& a, const Tensor& bt) {
+  Tensor c;
+  matmul_transposed_b_packed_into(a, bt, c);
+  return c;
+}
+
+namespace {
+
+// Shared core of matmul_transposed_a and its accumulate form; the only
+// difference is the final panel store (= vs +=), which matches composing
+// the allocating variant with Tensor::operator+= bit-for-bit.
+void mm_ta_impl(const Tensor& a, const Tensor& b, float* pc, bool accumulate) {
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  const float* pa = a.data();
+  const float* pb = b.data();
+  // C rows are indexed by A's k dimension, so parallelizing over k-row
+  // blocks keeps output writes disjoint; the i (reduction) loop stays
+  // ascending inside each block for a fixed double-accumulation order.
+  parallel::parallel_for(0, k, kBlockM, [&](std::size_t p0, std::size_t p1) {
+    scratch::Buffer<double> acc(kBlockM * kBlockN);
+    mm_ta_col_block(pa, pb, pc, p0, p1, m, k, n, accumulate, acc.data());
+  });
+}
+
+}  // namespace
+
 Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
   RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
   RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
@@ -121,36 +248,22 @@ Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
   obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
   obs_count_matmul("matmul_transposed_a", m, k, n);
   Tensor c(Shape{k, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C rows are indexed by A's k dimension, so parallelizing over k-row
-  // blocks keeps output writes disjoint; the i (reduction) loop stays
-  // ascending inside each block for a fixed double-accumulation order.
-  parallel::parallel_for(0, k, kBlockM, [&](std::size_t p0, std::size_t p1) {
-    scratch::Buffer<double> acc(kBlockM * kBlockN);
-    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-      const std::size_t j1 = std::min(j0 + kBlockN, n);
-      const std::size_t bn = j1 - j0;
-      std::fill(acc.begin(), acc.begin() + (p1 - p0) * bn, 0.0);
-      for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        const float* brow = pb + i * n + j0;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const double av = arow[p];
-          if (av == 0.0) continue;
-          double* crow = acc.data() + (p - p0) * bn;
-          for (std::size_t j = 0; j < bn; ++j) crow[j] += av * brow[j];
-        }
-      }
-      for (std::size_t p = p0; p < p1; ++p) {
-        const double* arow = acc.data() + (p - p0) * bn;
-        float* crow = pc + p * n + j0;
-        for (std::size_t j = 0; j < bn; ++j) crow[j] = static_cast<float>(arow[j]);
-      }
-    }
-  });
+  mm_ta_impl(a, b, c.data(), /*accumulate=*/false);
   return c;
+}
+
+void matmul_transposed_a_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  RERAMDL_CHECK_EQ(a.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(b.shape().rank(), 2u);
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  RERAMDL_CHECK_EQ(b.shape()[0], m);
+  RERAMDL_CHECK_EQ(c.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(c.shape()[0], k);
+  RERAMDL_CHECK_EQ(c.shape()[1], n);
+  RERAMDL_TRACE_SCOPE("ops.matmul_transposed_a", "tensor");
+  obs::ScopedHistogramTimer obs_timer("ops.matmul_ns");
+  obs_count_matmul("matmul_transposed_a", m, k, n);
+  mm_ta_impl(a, b, c.data(), /*accumulate=*/true);
 }
 
 void add_row_bias(Tensor& x, const Tensor& bias) {
@@ -176,17 +289,39 @@ Tensor column_sums(const Tensor& x) {
   return s;
 }
 
-Tensor transpose(const Tensor& x) {
+void column_sums_acc(const Tensor& x, Tensor& acc) {
   RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
   const std::size_t m = x.shape()[0], n = x.shape()[1];
-  Tensor t(Shape{n, m});
+  RERAMDL_CHECK_EQ(acc.shape().rank(), 1u);
+  RERAMDL_CHECK_EQ(acc.shape()[0], n);
+  // Sum into a zeroed scratch panel in the same i-ascending float order as
+  // column_sums, then fold into acc — the exact FP sequence of
+  // acc += column_sums(x), without the temporary Tensor.
+  scratch::Buffer<float> s(n);
+  std::fill(s.begin(), s.end(), 0.0f);
   const float* px = x.data();
-  float* pt = t.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) s[j] += px[i * n + j];
+  float* pa = acc.data();
+  for (std::size_t j = 0; j < n; ++j) pa[j] += s[j];
+}
+
+Tensor transpose(const Tensor& x) {
+  Tensor t;
+  transpose_into(x, t);
+  return t;
+}
+
+void transpose_into(const Tensor& x, Tensor& out) {
+  RERAMDL_CHECK_EQ(x.shape().rank(), 2u);
+  const std::size_t m = x.shape()[0], n = x.shape()[1];
+  out.reuse(Shape{n, m});
+  const float* px = x.data();
+  float* pt = out.data();
   parallel::parallel_for(0, m, 64, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i)
       for (std::size_t j = 0; j < n; ++j) pt[j * m + i] = px[i * n + j];
   });
-  return t;
 }
 
 }  // namespace reramdl::ops

@@ -57,6 +57,11 @@ void Tensor::fill(float v) {
   for (auto& x : data_) x = v;
 }
 
+void Tensor::reuse(Shape new_shape) {
+  shape_ = std::move(new_shape);
+  data_.resize(shape_.numel());
+}
+
 Tensor Tensor::reshaped(Shape new_shape) const {
   RERAMDL_CHECK_EQ(new_shape.numel(), numel());
   Tensor t;

@@ -45,6 +45,13 @@ class Tensor {
   // Reinterpret with a new shape of identical numel.
   Tensor reshaped(Shape new_shape) const;
 
+  // Re-shape in place, reusing the existing allocation whenever the new
+  // numel fits in the current capacity (grow-only storage). Contents are
+  // unspecified afterwards — workspace callers overwrite every element.
+  void reuse(Shape new_shape);
+  // Bytes of backing storage currently reserved (>= numel * sizeof(float)).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
   // Elementwise in-place updates.
   Tensor& operator+=(const Tensor& other);
   Tensor& operator-=(const Tensor& other);

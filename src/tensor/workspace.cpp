@@ -1,0 +1,26 @@
+#include "tensor/workspace.hpp"
+
+#include "common/scratch.hpp"
+
+namespace reramdl {
+
+Workspace::~Workspace() { scratch::arena_account_release(bytes_); }
+
+Tensor& Workspace::tensor(std::size_t slot, const Shape& shape) {
+  if (slot >= slots_.size()) {
+    // Slot vector growth is part of warm-up; Tensors are tiny when empty.
+    slots_.resize(slot + 1);
+  }
+  if (!slots_[slot]) slots_[slot] = std::make_unique<Tensor>();
+  Tensor& t = *slots_[slot];
+  const std::size_t before = t.capacity_bytes();
+  t.reuse(shape);
+  const std::size_t after = t.capacity_bytes();
+  if (after > before) {
+    bytes_ += after - before;
+    scratch::arena_account_grow(after - before);
+  }
+  return t;
+}
+
+}  // namespace reramdl

@@ -1,0 +1,52 @@
+// Workspace arena: slotted, reusable Tensor storage for per-iteration
+// training temporaries (im2col matrices, gradient panels, transposed weight
+// panels, batch staging).
+//
+// Each owner (a layer, the trainer) holds one Workspace and addresses its
+// temporaries by a small slot index. tensor(slot, shape) hands back the
+// slot's Tensor re-shaped in place: storage is grow-only, so after the
+// warm-up batch has sized every slot to its high-water mark, steady-state
+// training touches the heap zero times through the arena. Capacity growth
+// is reported to the process-wide ledger in common/scratch.hpp
+// (arena_bytes_reserved / arena_growth_events), which the plan-cache tests
+// and bench_train_step use to assert the zero-steady-state-allocation
+// property.
+//
+// Contents of a checked-out slot are unspecified (the previous iteration's
+// data); every fast-path consumer fully overwrites its slot.
+//
+// Concurrency: a Workspace belongs to one owner and is used from the thread
+// driving that owner's forward/backward, exactly like the layer activation
+// caches it replaces. Only the byte ledger is shared (and atomic).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace reramdl {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // The slot's Tensor re-shaped to `shape` (grow-only backing storage).
+  // Slots are heap-pinned, so the returned reference stays valid across
+  // later tensor() calls for other slots.
+  Tensor& tensor(std::size_t slot, const Shape& shape);
+
+  // Bytes reserved by this workspace's slots.
+  std::size_t bytes_reserved() const { return bytes_; }
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> slots_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace reramdl

@@ -69,6 +69,43 @@ TEST(Trainer, LenetTrainsOnSyntheticMnist) {
   EXPECT_GT(last.accuracy, 0.5);
 }
 
+TEST(Trainer, PartialTailBatchIsTrainedAndCounted) {
+  // 70 samples with batch 32 leaves a 6-sample tail that must still train.
+  Rng rng(110);
+  auto net = workload::make_mlp_mnist(rng);
+  Sgd opt(net.params(), 0.05f, 0.9f);
+  Trainer trainer(net, opt);
+  Rng data_rng(210);
+  const auto train = workload::make_mnist_like(70, data_rng);
+
+  const EpochStats e = trainer.train_epoch(train.images, train.labels, 32, rng);
+  EXPECT_EQ(e.batches, 3u);  // 32 + 32 + 6
+  EXPECT_EQ(e.samples, 70u);
+  EXPECT_TRUE(std::isfinite(e.mean_loss));
+
+  const EpochStats ev = trainer.evaluate(train.images, train.labels, 32);
+  EXPECT_EQ(ev.batches, 3u);
+  EXPECT_EQ(ev.samples, 70u);
+}
+
+TEST(Trainer, EvaluateMeanIsSampleWeightedAcrossBatchSizes) {
+  // The epoch mean must not depend on how samples split into batches, so a
+  // batch size that leaves a partial tail agrees with one full-data batch.
+  Rng rng(111);
+  auto net = workload::make_mlp_mnist(rng);
+  Sgd opt(net.params(), 0.05f);
+  Trainer trainer(net, opt);
+  Rng data_rng(211);
+  const auto test = workload::make_mnist_like(50, data_rng);
+
+  const EpochStats whole = trainer.evaluate(test.images, test.labels, 50);
+  const EpochStats split = trainer.evaluate(test.images, test.labels, 16);
+  EXPECT_EQ(split.batches, 4u);  // 16 + 16 + 16 + 2
+  EXPECT_EQ(split.samples, 50u);
+  EXPECT_NEAR(split.mean_loss, whole.mean_loss, 1e-6);
+  EXPECT_NEAR(split.accuracy, whole.accuracy, 1e-12);
+}
+
 // ---- GAN training ------------------------------------------------------------
 
 class GanTraining : public ::testing::TestWithParam<bool> {};  // CS on/off

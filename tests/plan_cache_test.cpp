@@ -1,0 +1,270 @@
+// Training-step plan cache / workspace arena acceptance tests: the
+// plan-cached fast path must be bit-identical to the uncached reference path
+// for every layer type and thread count, plans must rebuild correctly across
+// shape changes, and the arena must stop allocating once warm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/scratch.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "nn/transposed_conv2d.hpp"
+#include "obs/obs.hpp"
+#include "tensor/conv_plan.hpp"
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace reramdl::nn {
+namespace {
+
+// Restores the plan switch and the pool size after each test.
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    plan::set_enabled(true);
+    parallel::set_thread_count(0);
+  }
+};
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " differs at flat index " << i;
+}
+
+// Runs one forward(train)+backward through `layer` and returns
+// {output, input grad}; parameter gradients accumulate in the layer.
+std::pair<Tensor, Tensor> run_step(Layer& layer, const Tensor& x,
+                                   const Tensor& gout) {
+  Tensor y = layer.forward(x, /*train=*/true);
+  Tensor gx = layer.backward(gout);
+  return {std::move(y), std::move(gx)};
+}
+
+// Builds a layer twice from the same seed, runs the reference (uncached)
+// path once at 1 thread, then checks the plan path reproduces output, input
+// gradient, and parameter gradients bitwise at each thread count.
+template <typename MakeLayer>
+void check_layer_bit_identity(MakeLayer make, const Shape& in_shape) {
+  Rng data_rng(42);
+  const Tensor x = random_tensor(in_shape, data_rng);
+
+  plan::set_enabled(false);
+  parallel::set_thread_count(1);
+  Rng ref_rng(7);
+  auto ref = make(ref_rng);
+  const Tensor ref_y = ref->forward(x, true);
+  const Tensor gout = random_tensor(ref_y.shape(), data_rng);
+  const Tensor ref_gx = ref->backward(gout);
+
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    plan::set_enabled(true);
+    parallel::set_thread_count(threads);
+    Rng rng(7);
+    auto layer = make(rng);
+    auto [y, gx] = run_step(*layer, x, gout);
+    expect_bitwise_equal(y, ref_y, "forward output");
+    expect_bitwise_equal(gx, ref_gx, "input gradient");
+    auto rp = ref->params();
+    auto pp = layer->params();
+    ASSERT_EQ(rp.size(), pp.size());
+    for (std::size_t i = 0; i < rp.size(); ++i)
+      expect_bitwise_equal(*pp[i].grad, *rp[i].grad, "parameter gradient");
+  }
+}
+
+TEST_F(PlanCacheTest, Conv2DMatchesUncachedPathBitwise) {
+  check_layer_bit_identity(
+      [](Rng& rng) {
+        return std::make_unique<Conv2D>(3, 12, 12, 8, 3, 1, 1, rng);
+      },
+      Shape{4, 3, 12, 12});
+}
+
+TEST_F(PlanCacheTest, Conv2DStridedNoPadMatchesUncachedPathBitwise) {
+  check_layer_bit_identity(
+      [](Rng& rng) {
+        return std::make_unique<Conv2D>(2, 13, 11, 5, 3, 2, 0, rng);
+      },
+      Shape{3, 2, 13, 11});
+}
+
+TEST_F(PlanCacheTest, TransposedConv2DMatchesUncachedPathBitwise) {
+  check_layer_bit_identity(
+      [](Rng& rng) {
+        return std::make_unique<TransposedConv2D>(4, 7, 7, 3, 4, 2, 1, rng);
+      },
+      Shape{4, 4, 7, 7});
+}
+
+TEST_F(PlanCacheTest, DenseMatchesUncachedPathBitwise) {
+  check_layer_bit_identity(
+      [](Rng& rng) { return std::make_unique<Dense>(37, 19, rng); },
+      Shape{8, 37});
+}
+
+// Whole training runs (LeNet on synthetic MNIST) must produce the same loss
+// trajectory and final weights with the fast path on and off.
+TEST_F(PlanCacheTest, TrainingRunMatchesUncachedPathBitwise) {
+  Rng data_rng(200);
+  const auto train = workload::make_mnist_like(96, data_rng);
+
+  auto run = [&](bool cached) {
+    plan::set_enabled(cached);
+    Rng rng(100);
+    auto net = workload::make_lenet_small(rng);
+    Sgd opt(net.params(), 0.05f, 0.9f);
+    Trainer trainer(net, opt);
+    std::vector<double> losses;
+    for (int epoch = 0; epoch < 2; ++epoch)
+      losses.push_back(
+          trainer.train_epoch(train.images, train.labels, 16, rng).mean_loss);
+    std::vector<float> weights;
+    for (const auto& p : net.params())
+      for (std::size_t i = 0; i < p.value->numel(); ++i)
+        weights.push_back((*p.value)[i]);
+    return std::make_pair(losses, weights);
+  };
+
+  parallel::set_thread_count(1);
+  const auto ref = run(false);
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    parallel::set_thread_count(threads);
+    const auto got = run(true);
+    ASSERT_EQ(got.first.size(), ref.first.size());
+    for (std::size_t i = 0; i < ref.first.size(); ++i)
+      ASSERT_EQ(got.first[i], ref.first[i]) << "epoch " << i << " loss";
+    ASSERT_EQ(got.second.size(), ref.second.size());
+    for (std::size_t i = 0; i < ref.second.size(); ++i)
+      ASSERT_EQ(got.second[i], ref.second[i]) << "weight " << i;
+  }
+}
+
+// Changing the batch size mid-stream must re-key the execution plan and
+// still match the reference path exactly.
+TEST_F(PlanCacheTest, BatchShapeChangeRekeysPlan) {
+  Rng data_rng(55);
+  const Tensor x4 = random_tensor(Shape{4, 3, 10, 10}, data_rng);
+  const Tensor x2 = random_tensor(Shape{2, 3, 10, 10}, data_rng);
+
+  auto make = [](Rng& rng) {
+    return std::make_unique<Conv2D>(3, 10, 10, 6, 3, 1, 1, rng);
+  };
+
+  plan::set_enabled(false);
+  Rng ref_rng(9);
+  auto ref = make(ref_rng);
+  const Tensor r4 = ref->forward(x4, true);
+  const Tensor r2 = ref->forward(x2, true);
+
+  plan::set_enabled(true);
+  Rng rng(9);
+  auto layer = make(rng);
+  expect_bitwise_equal(layer->forward(x4, true), r4, "batch 4");
+  expect_bitwise_equal(layer->forward(x2, true), r2, "batch 2");
+  expect_bitwise_equal(layer->forward(x4, true), r4, "batch 4 again");
+}
+
+TEST_F(PlanCacheTest, CacheHitMissCountersTrackBatchKey) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& reg = obs::Registry::instance();
+  const auto hits0 = reg.counter("plan.cache_hits").value();
+  const auto misses0 = reg.counter("plan.cache_misses").value();
+
+  Rng rng(1);
+  Conv2D conv(1, 8, 8, 4, 3, 1, 1, rng);
+  Rng data_rng(2);
+  const Tensor a = random_tensor(Shape{4, 1, 8, 8}, data_rng);
+  const Tensor b = random_tensor(Shape{2, 1, 8, 8}, data_rng);
+  conv.forward(a, true);  // miss: first build
+  conv.forward(a, true);  // hit
+  conv.forward(b, true);  // miss: batch re-key
+  conv.forward(b, true);  // hit
+
+  EXPECT_EQ(reg.counter("plan.cache_hits").value() - hits0, 2u);
+  EXPECT_EQ(reg.counter("plan.cache_misses").value() - misses0, 2u);
+  obs::set_metrics_enabled(was_enabled);
+}
+
+// After the warm-up pass has sized every arena slot, further epochs of the
+// same shapes must not grow any workspace: steady-state training performs
+// zero arena allocations.
+TEST_F(PlanCacheTest, ArenaStopsGrowingAfterWarmup) {
+  Rng data_rng(300);
+  // 40 samples with batch 16 exercises the partial tail batch too.
+  const auto train = workload::make_mnist_like(40, data_rng);
+  Rng rng(301);
+  auto net = workload::make_lenet_small(rng);
+  Sgd opt(net.params(), 0.01f, 0.9f);
+  Trainer trainer(net, opt);
+
+  trainer.train_epoch(train.images, train.labels, 16, rng);
+  trainer.evaluate(train.images, train.labels, 16);
+  const auto warm_events = scratch::arena_growth_events();
+  const auto warm_bytes = scratch::arena_bytes_reserved();
+  EXPECT_GT(warm_events, 0u);
+  EXPECT_GT(warm_bytes, 0u);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    trainer.train_epoch(train.images, train.labels, 16, rng);
+    trainer.evaluate(train.images, train.labels, 16);
+  }
+  EXPECT_EQ(scratch::arena_growth_events(), warm_events)
+      << "steady-state training allocated through the arena";
+  EXPECT_EQ(scratch::arena_bytes_reserved(), warm_bytes);
+}
+
+TEST_F(PlanCacheTest, WorkspaceLedgerTracksGrowthAndRelease) {
+  const auto before = scratch::arena_bytes_reserved();
+  {
+    Workspace ws;
+    Tensor& t = ws.tensor(0, Shape{4, 8});
+    EXPECT_GE(ws.bytes_reserved(), 4 * 8 * sizeof(float));
+    EXPECT_EQ(scratch::arena_bytes_reserved(), before + ws.bytes_reserved());
+    t[0] = 1.0f;
+    // Shrinking and re-growing within capacity is free.
+    const auto events = scratch::arena_growth_events();
+    ws.tensor(0, Shape{2, 2});
+    ws.tensor(0, Shape{4, 8});
+    EXPECT_EQ(scratch::arena_growth_events(), events);
+    // Slot references stay valid when later slots grow the table.
+    Tensor& t2 = ws.tensor(7, Shape{16});
+    t2[0] = 2.0f;
+    EXPECT_EQ(ws.tensor(0, Shape{4, 8}).data(), t.data());
+  }
+  EXPECT_EQ(scratch::arena_bytes_reserved(), before);
+}
+
+// RERAMDL_PLAN_CACHE=0 must fall back to the reference path (observable via
+// the plan switch the env var initializes).
+TEST_F(PlanCacheTest, DisabledPlanPathStillTrains) {
+  plan::set_enabled(false);
+  Rng data_rng(400);
+  const auto train = workload::make_mnist_like(32, data_rng);
+  Rng rng(401);
+  auto net = workload::make_lenet_small(rng);
+  Sgd opt(net.params(), 0.05f, 0.9f);
+  Trainer trainer(net, opt);
+  const auto e1 = trainer.train_epoch(train.images, train.labels, 16, rng);
+  EXPECT_TRUE(std::isfinite(e1.mean_loss));
+  EXPECT_EQ(e1.samples, 32u);
+}
+
+}  // namespace
+}  // namespace reramdl::nn
