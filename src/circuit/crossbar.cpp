@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/scratch.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::circuit {
 
@@ -35,11 +38,19 @@ Crossbar::Crossbar(const CrossbarConfig& config) : config_(config) {
 
 void Crossbar::program(const Tensor& weights, double w_max,
                        device::VariationModel* variation) {
+  ProgramOptions opts;
+  opts.variation = variation;
+  program(weights, w_max, opts);
+}
+
+void Crossbar::program(const Tensor& weights, double w_max,
+                       const ProgramOptions& opts) {
   RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
   r_ = weights.shape()[0];
   c_ = weights.shape()[1];
   RERAMDL_CHECK_LE(r_, config_.rows);
-  RERAMDL_CHECK_LE(c_, config_.cols);
+  RERAMDL_CHECK_LT(config_.spare_cols, config_.cols);
+  RERAMDL_CHECK_LE(c_, config_.data_cols());
   RERAMDL_CHECK_GT(w_max, 0.0);
   w_max_ = w_max;
 
@@ -49,31 +60,217 @@ void Crossbar::program(const Tensor& weights, double w_max,
       static_cast<double>((std::uint64_t{1} << bpc) - 1);
   const device::LinearQuantizer wq(config_.weight_bits, w_max);
 
+  // Resolve the fault population: explicit params win; a VariationModel
+  // still carrying the deprecated stuck-at rates seeds a legacy map.
+  device::FaultMapParams fp = opts.faults;
+  if (!fp.enabled() && opts.variation != nullptr &&
+      opts.variation->has_legacy_faults())
+    fp = opts.variation->legacy_fault_params();
+  fault_map_ = device::FaultMap(fp);
+  if (fp.enabled())
+    fault_map_.bind(num_slices, bpc, config_.rows, config_.cols);
+
+  col_phys_.assign(c_, kNoCol);
+  phys_owner_.assign(config_.cols, kNoCol);
+  for (std::size_t j = 0; j < c_; ++j) {
+    col_phys_[j] = j;
+    phys_owner_[j] = j;
+  }
+
   levels_.assign(num_slices,
                  std::vector<std::vector<double>>(2, std::vector<double>(r_ * c_, 0.0)));
 
-  for (std::size_t i = 0; i < r_; ++i) {
-    for (std::size_t j = 0; j < c_; ++j) {
-      const std::int64_t q = wq.quantize(weights.at(i, j));
-      const std::size_t polarity = q < 0 ? 1 : 0;
-      const std::uint64_t mag = static_cast<std::uint64_t>(q < 0 ? -q : q);
-      const auto slices = device::bit_slice(mag, bpc, num_slices);
-      for (std::size_t s = 0; s < num_slices; ++s) {
-        double level = static_cast<double>(slices[s]);
-        // Both polarities' cells exist physically; only the used one holds a
-        // non-zero level, but variation / faults can disturb either.
-        double other = 0.0;
-        if (variation != nullptr) {
-          level = variation->perturb(level, slice_max);
-          other = variation->perturb(other, slice_max);
-        }
-        levels_[s][polarity][i * c_ + j] = level;
-        levels_[s][1 - polarity][i * c_ + j] = other;
-      }
+  // Initial programming, one logical column at a time onto its primary
+  // bitline. Columns that still hold defective cells after write-verify
+  // are queued for spare-column remapping.
+  std::vector<std::size_t> defective_cols;
+  std::vector<std::vector<std::size_t>> col_defects(c_);
+  for (std::size_t j = 0; j < c_; ++j) {
+    ColumnProgram cp = program_column(weights, wq, j, j, slice_max, opts);
+    store_column(cp, j);
+    if (!cp.defects.empty()) {
+      defective_cols.push_back(j);
+      col_defects[j] = std::move(cp.defects);
     }
   }
   stats_.programmed_cells += r_ * c_ * num_slices * 2;
+
+  // Spare-column remapping: re-program each defective column onto the next
+  // unused spare bitline; a spare that itself verifies defective is burned
+  // and the next one is tried. The trial lives in a ColumnProgram until it
+  // verifies clean, so a failed attempt never disturbs the array state.
+  std::uint64_t remapped_cells = 0;
+  std::size_t next_spare = config_.data_cols();
+  for (std::size_t j : defective_cols) {
+    bool repaired = false;
+    while (next_spare < config_.cols) {
+      const std::size_t phys = next_spare++;
+      ColumnProgram trial = program_column(weights, wq, j, phys, slice_max, opts);
+      stats_.programmed_cells += r_ * num_slices * 2;
+      if (!trial.defects.empty()) continue;
+      store_column(trial, j);
+      phys_owner_[col_phys_[j]] = kNoCol;
+      col_phys_[j] = phys;
+      phys_owner_[phys] = j;
+      remapped_cells += r_ * num_slices * 2;
+      ++stats_.spare_cols_used;
+      col_defects[j].clear();
+      repaired = true;
+      break;
+    }
+    if (repaired) continue;
+    switch (opts.degrade) {
+      case DegradePolicy::kFailFast: {
+        std::ostringstream msg;
+        msg << "crossbar column " << j << " has " << col_defects[j].size()
+            << " unrepairable cell(s) and spares are exhausted ("
+            << config_.spare_cols << " configured, " << stats_.spare_cols_used
+            << " used); degrade policy is fail_fast";
+        throw CheckError(msg.str());
+      }
+      case DegradePolicy::kClamp:
+        // Known-defective cells contribute zero: models the peripheral
+        // subtractor gating out bitline segments flagged by verify.
+        for (std::size_t cell : col_defects[j]) {
+          const std::size_t s = cell / (2 * r_);
+          const std::size_t p = (cell / r_) % 2;
+          const std::size_t i = cell % r_;
+          levels_[s][p][i * c_ + j] = 0.0;
+        }
+        break;
+      case DegradePolicy::kBestEffort:
+        break;
+    }
+    stats_.defective_cells += col_defects[j].size();
+  }
+  stats_.cells_remapped += remapped_cells;
+
+  // Permanent faults landing in the active region of in-use bitlines.
+  std::uint64_t stuck_active = 0;
+  if (fault_map_.enabled()) {
+    for (const auto& f : fault_map_.stuck_faults()) {
+      std::size_t s = 0, p = 0, i = 0, phys = 0;
+      fault_map_.decode(f.cell, s, p, i, phys);
+      if (i < r_ && phys_owner_[phys] != kNoCol) ++stuck_active;
+    }
+    stats_.stuck_cells += stuck_active;
+    stats_.faults_injected += stuck_active;
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    if (stuck_active > 0)
+      reg.counter("xbar.faults_injected").add(stuck_active);
+    if (remapped_cells > 0)
+      reg.counter("xbar.cells_remapped").add(remapped_cells);
+  }
   rebuild_w_eff();
+}
+
+Crossbar::ColumnProgram Crossbar::program_column(
+    const Tensor& weights, const device::LinearQuantizer& wq, std::size_t j,
+    std::size_t phys_col, double slice_max, const ProgramOptions& opts) {
+  const std::size_t num_slices = config_.slices();
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  ColumnProgram cp;
+  cp.levels.assign(num_slices * 2 * r_, 0.0);
+  for (std::size_t i = 0; i < r_; ++i) {
+    const std::int64_t q = wq.quantize(weights.at(i, j));
+    const std::size_t polarity = q < 0 ? 1 : 0;
+    const std::uint64_t mag = static_cast<std::uint64_t>(q < 0 ? -q : q);
+    const auto slices = device::bit_slice(mag, bpc, num_slices);
+    for (std::size_t s = 0; s < num_slices; ++s) {
+      for (std::size_t p = 0; p < 2; ++p) {
+        // Both polarities' cells exist physically; only the used one holds a
+        // non-zero target, but variation / faults can disturb either.
+        const double target = (p == polarity) ? static_cast<double>(slices[s]) : 0.0;
+        const device::FaultType fault =
+            fault_map_.enabled()
+                ? fault_map_.stuck_fault(s, p, i, phys_col)
+                : device::FaultType::kNone;
+        bool defective = false;
+        const double level = program_cell(fault, target, slice_max, opts, defective);
+        const std::size_t cell = (s * 2 + p) * r_ + i;
+        cp.levels[cell] = level;
+        if (defective) cp.defects.push_back(cell);
+      }
+    }
+  }
+  return cp;
+}
+
+double Crossbar::program_cell(device::FaultType fault, double target,
+                              double slice_max, const ProgramOptions& opts,
+                              bool& defective) {
+  // Closed-loop program-and-verify: each pulse aims at a compensated target
+  // (aim += target - readback), keeping whichever readback came closest.
+  // Without write_verify this is exactly one open-loop pulse — the
+  // historical behavior.
+  double aim = target;
+  double best = target;
+  double best_err = std::numeric_limits<double>::infinity();
+  const std::size_t attempts =
+      opts.write_verify ? opts.max_program_retries + 1 : 1;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    if (a > 0) ++stats_.verify_retries;
+    double level = aim;
+    if (opts.variation != nullptr)
+      level = opts.variation->perturb(level, slice_max);
+    level = device::FaultMap::apply(fault, level, slice_max);
+    const double err = std::abs(level - target);
+    if (err < best_err) {
+      best = level;
+      best_err = err;
+    }
+    if (!opts.write_verify || err <= opts.verify_tolerance) break;
+    aim = std::clamp(aim + (target - level), 0.0, slice_max);
+  }
+  const double defect_threshold =
+      opts.defect_threshold > 0.0 ? opts.defect_threshold : slice_max * 0.25;
+  defective = opts.write_verify && best_err > defect_threshold;
+  return best;
+}
+
+void Crossbar::store_column(const ColumnProgram& cp, std::size_t j) {
+  const std::size_t num_slices = levels_.size();
+  for (std::size_t s = 0; s < num_slices; ++s)
+    for (std::size_t p = 0; p < 2; ++p)
+      for (std::size_t i = 0; i < r_; ++i)
+        levels_[s][p][i * c_ + j] = cp.levels[(s * 2 + p) * r_ + i];
+}
+
+std::size_t Crossbar::inject_at(std::uint64_t step) {
+  if (!fault_map_.enabled() || r_ == 0) return 0;
+  const auto flips = fault_map_.transients_at(step);
+  if (flips.empty()) return 0;
+  const std::size_t bpc = config_.cell.bits_per_cell;
+  const long long max_level = (1ll << bpc) - 1;
+  std::size_t applied = 0;
+  for (const auto& f : flips) {
+    if (f.row >= r_) continue;
+    const std::size_t j = phys_owner_[f.col];
+    if (j == kNoCol) continue;
+    // Stuck cells read their rail regardless; a soft flip cannot move them.
+    if (fault_map_.stuck_fault(f.slice, f.polarity, f.row, f.col) !=
+        device::FaultType::kNone)
+      continue;
+    double& level = levels_[f.slice][f.polarity][f.row * c_ + j];
+    const long long cur = std::clamp(
+        static_cast<long long>(std::llround(level)), 0ll, max_level);
+    level = static_cast<double>(cur ^ (1ll << f.bit));
+    ++applied;
+  }
+  if (applied > 0) {
+    stats_.faults_injected += applied;
+    if (obs::metrics_enabled())
+      obs::Registry::instance().counter("xbar.faults_injected").add(applied);
+    rebuild_w_eff();
+  }
+  return applied;
+}
+
+std::size_t Crossbar::physical_col(std::size_t j) const {
+  RERAMDL_CHECK_LT(j, c_);
+  return col_phys_[j];
 }
 
 void Crossbar::rebuild_w_eff() {

@@ -28,11 +28,21 @@
 // cache-blocked kernel that keeps each row's accumulation order identical
 // to the single-vector path, so batched and looped execution are
 // bit-identical.
+// Fault tolerance: programming runs through an optional write-verify loop
+// (read back each cell, re-program with a nudged target up to
+// max_program_retries, mark cells that never converge as defective), and
+// logical columns containing unrepairable cells can be remapped onto spare
+// bitlines reserved by CrossbarConfig::spare_cols. Stored levels are kept in
+// *logical* column layout regardless of which physical bitline backs them,
+// so every compute path (collapsed, batched, bit-serial, reference) is
+// untouched by remapping — the fault-free path stays bit-identical to a
+// crossbar with no fault machinery configured.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "device/fault_map.hpp"
 #include "device/quantizer.hpp"
 #include "device/reram_cell.hpp"
 #include "device/variation.hpp"
@@ -47,9 +57,43 @@ struct CrossbarConfig {
   std::size_t input_bits = 8;    // magnitude bits
   std::size_t counter_bits = 16; // I&F output counter width
   bool bit_serial = false;       // exact spike-level emulation
+  // Bitlines reserved as remap targets for columns with unrepairable cells;
+  // the usable data width is data_cols() = cols - spare_cols.
+  std::size_t spare_cols = 0;
   device::CellParams cell;
 
   std::size_t slices() const;  // weight_bits / bits_per_cell (exact multiple)
+  std::size_t data_cols() const { return cols - spare_cols; }
+};
+
+// What to do with a column whose defective cells could not be remapped (no
+// write-verify to find a spare for them, or spares exhausted).
+enum class DegradePolicy : unsigned char {
+  kFailFast,    // throw CheckError: treat the array as unusable
+  kClamp,       // mask known-defective cells to zero contribution (the
+                // peripheral subtractor gates them out), bounding the error
+  kBestEffort,  // compute with the faulty levels as-is
+};
+
+// Programming-time options: non-idealities to apply and the active
+// resilience (write-verify / redundancy) responding to them. The default
+// options reproduce the historical program(weights, w_max) behavior exactly.
+struct ProgramOptions {
+  device::VariationModel* variation = nullptr;
+  // Fault population; !faults.enabled() means no injected faults (a
+  // VariationModel carrying legacy stuck-at rates still seeds a map).
+  device::FaultMapParams faults;
+  // Closed-loop program-and-verify: read back each programmed cell and
+  // re-program with a compensated target while |readback - target| exceeds
+  // verify_tolerance (in level units), up to max_program_retries retries.
+  bool write_verify = false;
+  std::size_t max_program_retries = 3;
+  double verify_tolerance = 0.49;  // just under half an LSB
+  // A cell is defective (unrepairable) when its best achieved error still
+  // exceeds this after all retries; <= 0 selects slice_max / 4 (an error
+  // clearly beyond programming noise — a stuck or dead cell).
+  double defect_threshold = 0.0;
+  DegradePolicy degrade = DegradePolicy::kBestEffort;
 };
 
 struct CrossbarStats {
@@ -57,12 +101,25 @@ struct CrossbarStats {
   std::uint64_t compute_ops = 0;      // MVM activations
   std::uint64_t input_spikes = 0;     // total '1' spikes driven
   std::uint64_t saturated_counters = 0;
+  // Fault-tolerance bookkeeping (all zero on the fault-free path).
+  std::uint64_t stuck_cells = 0;      // stuck-at faults in the active region
+  std::uint64_t faults_injected = 0;  // stuck cells hit + transient flips
+  std::uint64_t verify_retries = 0;   // extra program pulses from verify
+  std::uint64_t defective_cells = 0;  // failed verify, not remapped away
+  std::uint64_t cells_remapped = 0;   // cells relocated onto spare columns
+  std::uint64_t spare_cols_used = 0;  // spare bitlines hosting a column
 
   CrossbarStats& operator+=(const CrossbarStats& o) {
     programmed_cells += o.programmed_cells;
     compute_ops += o.compute_ops;
     input_spikes += o.input_spikes;
     saturated_counters += o.saturated_counters;
+    stuck_cells += o.stuck_cells;
+    faults_injected += o.faults_injected;
+    verify_retries += o.verify_retries;
+    defective_cells += o.defective_cells;
+    cells_remapped += o.cells_remapped;
+    spare_cols_used += o.spare_cols_used;
     return *this;
   }
 };
@@ -71,11 +128,23 @@ class Crossbar {
  public:
   explicit Crossbar(const CrossbarConfig& config);
 
-  // Program a weight matrix [r, c] (r <= rows, c <= cols); values are
-  // clipped to [-w_max, w_max]. Optional variation model perturbs the stored
-  // levels per cell.
+  // Program a weight matrix [r, c] (r <= rows, c <= data_cols()); values
+  // are clipped to [-w_max, w_max]. Optional variation model perturbs the
+  // stored levels per cell. Equivalent to program(weights, w_max,
+  // ProgramOptions{variation}).
   void program(const Tensor& weights, double w_max,
                device::VariationModel* variation = nullptr);
+
+  // Full programming path: faults, write-verify, spare-column remapping,
+  // and the degradation policy. See ProgramOptions.
+  void program(const Tensor& weights, double w_max,
+               const ProgramOptions& opts);
+
+  // Activate this map's transient bit-flips for injection event `step`
+  // (deterministic in the fault seed and `step`): flips one stored bit of
+  // each hit in-use healthy cell, persists until the next program(), and
+  // rebuilds W_eff. Returns the number of flips applied.
+  std::size_t inject_at(std::uint64_t step);
 
   // Matrix-vector product for inputs clipped to [-x_max, x_max]; returns c
   // outputs in float. The crossbar must be programmed first.
@@ -143,17 +212,43 @@ class Crossbar {
   // levels (scaled by drift/variation where applied).
   const std::vector<double>& effective_weights() const { return w_eff_; }
 
+  // Fault-tolerance introspection.
+  const device::FaultMap& fault_map() const { return fault_map_; }
+  // Physical bitline backing logical column j (== j unless remapped).
+  std::size_t physical_col(std::size_t j) const;
+
  private:
+  static constexpr std::size_t kNoCol = static_cast<std::size_t>(-1);
+
+  // One logical column's trial programming: levels and defects are packed
+  // by (slice * 2 + polarity) * r_ + i so a failed spare attempt can be
+  // discarded without disturbing the committed array state.
+  struct ColumnProgram {
+    std::vector<double> levels;
+    std::vector<std::size_t> defects;
+  };
+
+  ColumnProgram program_column(const Tensor& weights,
+                               const device::LinearQuantizer& wq,
+                               std::size_t j, std::size_t phys_col,
+                               double slice_max, const ProgramOptions& opts);
+  double program_cell(device::FaultType fault, double target, double slice_max,
+                      const ProgramOptions& opts, bool& defective);
+  void store_column(const ColumnProgram& cp, std::size_t j);
   void rebuild_w_eff();
   void compute_bit_serial(const std::int64_t* x_int, double* acc);
 
   CrossbarConfig config_;
   std::size_t r_ = 0, c_ = 0;
   double w_max_ = 0.0;
-  // Effective per-cell levels: [slice][polarity(0=pos,1=neg)][r * c_].
+  // Effective per-cell levels: [slice][polarity(0=pos,1=neg)][r * c_],
+  // indexed by *logical* column regardless of remapping.
   std::vector<std::vector<std::vector<double>>> levels_;
   // Collapsed differential weights [r * c_]; see header comment.
   std::vector<double> w_eff_;
+  device::FaultMap fault_map_;
+  std::vector<std::size_t> col_phys_;   // logical column -> physical bitline
+  std::vector<std::size_t> phys_owner_; // physical bitline -> logical column
   CrossbarStats stats_;
 };
 

@@ -13,11 +13,28 @@ CrossbarGrid::CrossbarGrid(const CrossbarConfig& config) : config_(config) {}
 
 void CrossbarGrid::program(const Tensor& weights, double w_max,
                            device::VariationModel* variation) {
+  ProgramOptions opts;
+  opts.variation = variation;
+  program(weights, w_max, opts);
+}
+
+void CrossbarGrid::program(const Tensor& weights, double w_max,
+                           const ProgramOptions& opts) {
   RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
   total_rows_ = weights.shape()[0];
   total_cols_ = weights.shape()[1];
+  const std::size_t data_cols = config_.data_cols();
   row_tiles_ = (total_rows_ + config_.rows - 1) / config_.rows;
-  col_tiles_ = (total_cols_ + config_.cols - 1) / config_.cols;
+  col_tiles_ = (total_cols_ + data_cols - 1) / data_cols;
+
+  // Expand the fault population once at grid level so each tile gets an
+  // independent per-tile seed below; this also covers the deprecated
+  // VariationModel stuck-at shim (whose params carry one seed per model —
+  // without the per-tile mix every tile would repeat the same pattern).
+  device::FaultMapParams base = opts.faults;
+  if (!base.enabled() && opts.variation != nullptr &&
+      opts.variation->has_legacy_faults())
+    base = opts.variation->legacy_fault_params();
 
   arrays_.clear();
   arrays_.reserve(row_tiles_ * col_tiles_);
@@ -25,17 +42,28 @@ void CrossbarGrid::program(const Tensor& weights, double w_max,
     const std::size_t r0 = rt * config_.rows;
     const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
-      const std::size_t c0 = ct * config_.cols;
-      const std::size_t c1 = std::min(c0 + config_.cols, total_cols_);
+      const std::size_t c0 = ct * data_cols;
+      const std::size_t c1 = std::min(c0 + data_cols, total_cols_);
       Tensor tile(Shape{r1 - r0, c1 - c0});
       for (std::size_t i = r0; i < r1; ++i)
         for (std::size_t j = c0; j < c1; ++j)
           tile.at(i - r0, j - c0) = weights.at(i, j);
       Crossbar xbar(config_);
-      xbar.program(tile, w_max, variation);
+      ProgramOptions tile_opts = opts;
+      tile_opts.faults = base;
+      if (base.enabled())
+        tile_opts.faults.seed =
+            device::FaultMap::mix_seed(base.seed, arrays_.size() + 1);
+      xbar.program(tile, w_max, tile_opts);
       arrays_.push_back(std::move(xbar));
     }
   }
+}
+
+std::size_t CrossbarGrid::inject_at(std::uint64_t step) {
+  std::size_t applied = 0;
+  for (auto& a : arrays_) applied += a.inject_at(step);
+  return applied;
 }
 
 std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
@@ -74,7 +102,7 @@ std::vector<float> CrossbarGrid::compute(const std::vector<float>& x,
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::size_t t = rt * col_tiles_ + ct;
-      const std::size_t c0 = ct * config_.cols;
+      const std::size_t c0 = ct * config_.data_cols();
       const float* partial = partials.data() + t * config_.cols;
       const std::size_t cw = arrays_[t].active_cols();
       for (std::size_t j = 0; j < cw; ++j) y[c0 + j] += partial[j];
@@ -193,7 +221,7 @@ Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max) {
       for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
         for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
           const std::size_t t = rt * col_tiles_ + ct;
-          const std::size_t c0 = ct * config_.cols;
+          const std::size_t c0 = ct * config_.data_cols();
           const float* partial =
               partials.data() + (t * chunk + b) * config_.cols;
           const std::size_t cw = arrays_[t].active_cols();

@@ -14,9 +14,23 @@ class CrossbarGrid {
  public:
   explicit CrossbarGrid(const CrossbarConfig& config);
 
-  // Program a full [R, C] matrix across ceil(R/rows) x ceil(C/cols) arrays.
+  // Program a full [R, C] matrix across ceil(R/rows) x ceil(C/data_cols())
+  // arrays (spare bitlines are reserved per array, not tiled over).
+  // Equivalent to program(weights, w_max, ProgramOptions{variation}).
   void program(const Tensor& weights, double w_max,
                device::VariationModel* variation = nullptr);
+
+  // Full programming path: each tile programs with `opts`, its fault seed
+  // derived as FaultMap::mix_seed(seed, tile + 1) so tiles carry
+  // independent-but-reproducible fault populations from one campaign seed.
+  // A VariationModel carrying legacy stuck-at rates is expanded here the
+  // same way, so the deprecated shim also gets distinct per-tile patterns.
+  void program(const Tensor& weights, double w_max,
+               const ProgramOptions& opts);
+
+  // Fan injection event `step` out to every array (deterministic in each
+  // tile's fault seed and `step`); returns total bit-flips applied.
+  std::size_t inject_at(std::uint64_t step);
 
   // y[C] = W^T-free MVM: x has R entries. Tile MVMs dispatch to the shared
   // thread pool (common/parallel.hpp); partial sums are combined serially in
@@ -42,6 +56,9 @@ class CrossbarGrid {
   std::size_t total_cols() const { return total_cols_; }
 
   CrossbarStats aggregate_stats() const;
+
+  // Tile introspection (row-major [row_tile][col_tile]).
+  const Crossbar& array(std::size_t t) const { return arrays_[t]; }
 
  private:
   CrossbarConfig config_;

@@ -1,0 +1,84 @@
+// Shared environment-variable parsing for the RERAMDL_* knobs.
+//
+// Every tunable read from the environment goes through these helpers so the
+// parsing rules are uniform: unset means "use the default", and a value that
+// does not parse (or falls outside the allowed range) is *rejected with a
+// one-time warning on stderr* instead of being silently coerced — a mistyped
+// RERAMDL_THREADS=8x quietly running single-threaded cost real debugging
+// time before this existed.
+//
+// Header-only on purpose: obs sits at the bottom of the library stack
+// (below common) and needs these too; an include-only helper has no link
+// direction.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace reramdl::env {
+
+namespace detail {
+
+// Warns once per variable name for the process lifetime. Returns true the
+// first time (i.e., when the warning was actually printed).
+inline bool warn_invalid(const char* name, std::string_view value,
+                         std::string_view why) {
+  static std::mutex mu;
+  // Leaked: may be reached from atexit hooks / late static init.
+  static auto* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned->insert(name).second) return false;
+  std::cerr << "reramdl: ignoring " << name << "=\"" << value << "\" (" << why
+            << "); using default\n";
+  return true;
+}
+
+}  // namespace detail
+
+// Integer knob: unset -> fallback; a value outside [lo, hi] or with any
+// non-numeric garbage (partial parses like "8x" included) warns once and
+// returns fallback.
+inline long long env_int(const char* name, long long fallback,
+                         long long lo = std::numeric_limits<long long>::min(),
+                         long long hi = std::numeric_limits<long long>::max()) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0') {
+    detail::warn_invalid(name, raw, "not an integer");
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    detail::warn_invalid(name, raw, "out of range");
+    return fallback;
+  }
+  return v;
+}
+
+// Boolean knob: accepts 0/1/true/false/on/off (case-sensitive, matching the
+// documented spellings); anything else warns once and returns fallback.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const std::string_view v(raw);
+  if (v == "0" || v == "false" || v == "off") return false;
+  if (v == "1" || v == "true" || v == "on") return true;
+  detail::warn_invalid(name, raw, "not a boolean (use 0/1/true/false/on/off)");
+  return fallback;
+}
+
+// Path knob: unset and empty both mean "disabled" and return "". Any other
+// string is taken verbatim (paths have no garbage to reject).
+inline std::string env_path(const char* name) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr) ? std::string() : std::string(raw);
+}
+
+}  // namespace reramdl::env

@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/env.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::parallel {
@@ -57,10 +57,11 @@ void obs_chunk_end(std::uint64_t start_ns) {
 }
 
 std::size_t env_thread_count() {
-  if (const char* env = std::getenv("RERAMDL_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
+  // 0 (the fallback) means unset-or-invalid: fall through to the hardware
+  // count. Garbage values warn once via env_int instead of silently running
+  // at hardware concurrency.
+  const long long v = env::env_int("RERAMDL_THREADS", 0, 1, 1 << 16);
+  if (v >= 1) return static_cast<std::size_t>(v);
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);
 }

@@ -8,6 +8,7 @@ circuit::CrossbarConfig AcceleratorConfig::crossbar_config() const {
   c.cols = chip.array_cols;
   c.weight_bits = weight_bits;
   c.input_bits = input_bits;
+  c.spare_cols = spare_cols;
   c.cell = chip.cell;
   return c;
 }

@@ -17,6 +17,9 @@ struct AcceleratorConfig {
   // Array budget for the replication planner; 0 means the chip's full
   // morphable capacity.
   std::size_t max_arrays = 0;
+  // Bitlines per array reserved as spare columns for fault remapping
+  // (circuit::CrossbarConfig::spare_cols); shrinks the usable data width.
+  std::size_t spare_cols = 0;
 
   std::size_t array_budget() const {
     return max_arrays != 0 ? max_arrays : chip.total_compute_arrays();

@@ -69,6 +69,20 @@ CrossbarExecutor::CrossbarExecutor(nn::Sequential& net,
                                    const AcceleratorConfig& config,
                                    device::VariationModel* variation)
     : net_(&net), xbar_config_(config.crossbar_config()) {
+  circuit::ProgramOptions opts;
+  opts.variation = variation;
+  bind_and_program(net, opts);
+}
+
+CrossbarExecutor::CrossbarExecutor(nn::Sequential& net,
+                                   const AcceleratorConfig& config,
+                                   const circuit::ProgramOptions& opts)
+    : net_(&net), xbar_config_(config.crossbar_config()) {
+  bind_and_program(net, opts);
+}
+
+void CrossbarExecutor::bind_and_program(nn::Sequential& net,
+                                        const circuit::ProgramOptions& opts) {
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     nn::Layer& layer = net.layer(i);
     const Tensor* w = weighted_layer_matrix(layer);
@@ -82,17 +96,34 @@ CrossbarExecutor::CrossbarExecutor(nn::Sequential& net,
     bindings_.push_back(std::move(binding));
   }
   RERAMDL_CHECK(!bindings_.empty());
-  reprogram(variation);
+  reprogram(opts);
   for (auto& b : bindings_) b->install();
   attached_ = true;
 }
 
 void CrossbarExecutor::reprogram(device::VariationModel* variation) {
-  for (auto& b : bindings_) {
+  circuit::ProgramOptions opts;
+  opts.variation = variation;
+  reprogram(opts);
+}
+
+void CrossbarExecutor::reprogram(const circuit::ProgramOptions& opts) {
+  for (std::size_t l = 0; l < bindings_.size(); ++l) {
+    auto& b = bindings_[l];
     const double w_max =
         std::max(static_cast<double>(b->weights->abs_max()), 1e-12);
-    b->grid->program(*b->weights, w_max, variation);
+    circuit::ProgramOptions layer_opts = opts;
+    if (opts.faults.enabled())
+      layer_opts.faults.seed =
+          device::FaultMap::mix_seed(opts.faults.seed, l + 1);
+    b->grid->program(*b->weights, w_max, layer_opts);
   }
+}
+
+std::size_t CrossbarExecutor::inject_at(std::uint64_t step) {
+  std::size_t applied = 0;
+  for (auto& g : grids_) applied += g->inject_at(step);
+  return applied;
 }
 
 void CrossbarExecutor::apply_drift(double factor) {

@@ -25,9 +25,25 @@ class CrossbarExecutor {
   CrossbarExecutor(nn::Sequential& net, const AcceleratorConfig& config,
                    device::VariationModel* variation = nullptr);
 
+  // Full programming path per layer: faults, write-verify, spare-column
+  // remapping and the degradation policy (circuit::ProgramOptions). Each
+  // layer's grid programs with a fault seed mixed per layer
+  // (FaultMap::mix_seed(seed, layer_index + 1)), so one campaign seed
+  // reproduces the entire network's fault population.
+  CrossbarExecutor(nn::Sequential& net, const AcceleratorConfig& config,
+                   const circuit::ProgramOptions& opts);
+
   // Re-program the grids from the layers' current weights (after a weight
   // update, mirroring the paper's update cycle).
   void reprogram(device::VariationModel* variation = nullptr);
+
+  // Re-program with the full options path (per-layer fault-seed mixing as
+  // in the ProgramOptions constructor).
+  void reprogram(const circuit::ProgramOptions& opts);
+
+  // Fan transient-fault injection event `step` out to every grid; returns
+  // total bit-flips applied across the network.
+  std::size_t inject_at(std::uint64_t step);
 
   // Age all grids by the given retention-drift factor (see
   // device::RetentionModel); reprogram() restores fresh levels.
@@ -46,6 +62,8 @@ class CrossbarExecutor {
 
  private:
   struct Binding;
+  void bind_and_program(nn::Sequential& net,
+                        const circuit::ProgramOptions& opts);
   nn::Sequential* net_;
   circuit::CrossbarConfig xbar_config_;
   std::vector<std::unique_ptr<circuit::CrossbarGrid>> grids_;

@@ -2,10 +2,10 @@
 
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "common/env.hpp"
 #include "obs/json_writer.hpp"
 
 namespace reramdl::obs {
@@ -43,12 +43,11 @@ MetricsState& metrics_state() {
   // Leaked: pool workers and atexit hooks may outlive static destruction.
   static MetricsState* s = [] {
     auto* st = new MetricsState;
-    if (const char* env = std::getenv("RERAMDL_METRICS")) {
-      if (env[0] != '\0') {
-        st->path = env;
-        st->enabled.store(true, std::memory_order_release);
-        std::atexit(write_metrics);
-      }
+    const std::string path = env::env_path("RERAMDL_METRICS");
+    if (!path.empty()) {
+      st->path = path;
+      st->enabled.store(true, std::memory_order_release);
+      std::atexit(write_metrics);
     }
     return st;
   }();

@@ -1,13 +1,13 @@
 #include "obs/trace.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/env.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"  // monotonic_ns
 
@@ -48,12 +48,11 @@ TraceState& trace_state() {
   // destruction order.
   static TraceState* s = [] {
     auto* st = new TraceState;
-    if (const char* env = std::getenv("RERAMDL_TRACE")) {
-      if (env[0] != '\0') {
-        st->path = env;
-        st->enabled.store(true, std::memory_order_release);
-        std::atexit(write_trace);
-      }
+    const std::string path = env::env_path("RERAMDL_TRACE");
+    if (!path.empty()) {
+      st->path = path;
+      st->enabled.store(true, std::memory_order_release);
+      std::atexit(write_trace);
     }
     return st;
   }();

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <limits>
-#include <string_view>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
@@ -16,11 +15,7 @@ namespace plan {
 
 namespace {
 
-bool env_default() {
-  if (const char* env = std::getenv("RERAMDL_PLAN_CACHE"))
-    return std::string_view(env) != "0";
-  return true;
-}
+bool env_default() { return env::env_flag("RERAMDL_PLAN_CACHE", true); }
 
 std::atomic<bool>& flag() {
   static std::atomic<bool> on{env_default()};

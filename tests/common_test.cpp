@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/scratch.hpp"
 #include "common/stats.hpp"
@@ -232,6 +234,46 @@ TEST(Scratch, GrowsWhenCheckedOutLarger) {
   EXPECT_EQ(big.size(), 1024u);
   big[1023] = 1.5f;
   EXPECT_EQ(big[1023], 1.5f);
+}
+
+// The env helpers are what every RERAMDL_* knob parses through; garbage must
+// fall back to the default rather than being silently coerced. setenv is
+// safe here: gtest runs tests single-threaded within a binary.
+TEST(Env, IntParsesValidRejectsGarbageAndRange) {
+  setenv("RERAMDL_TEST_INT", "42", 1);
+  EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7), 42);
+  setenv("RERAMDL_TEST_INT", "8x", 1);  // partial parse -> fallback
+  EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7), 7);
+  setenv("RERAMDL_TEST_INT", "99", 1);  // out of [0, 64] -> fallback
+  EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7, 0, 64), 7);
+  setenv("RERAMDL_TEST_INT", "", 1);  // empty == unset
+  EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7), 7);
+  unsetenv("RERAMDL_TEST_INT");
+  EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7), 7);
+}
+
+TEST(Env, FlagAcceptsDocumentedSpellingsOnly) {
+  for (const char* v : {"1", "true", "on"}) {
+    setenv("RERAMDL_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env::env_flag("RERAMDL_TEST_FLAG", false)) << v;
+  }
+  for (const char* v : {"0", "false", "off"}) {
+    setenv("RERAMDL_TEST_FLAG", v, 1);
+    EXPECT_FALSE(env::env_flag("RERAMDL_TEST_FLAG", true)) << v;
+  }
+  setenv("RERAMDL_TEST_FLAG", "yes", 1);  // not a documented spelling
+  EXPECT_TRUE(env::env_flag("RERAMDL_TEST_FLAG", true));
+  EXPECT_FALSE(env::env_flag("RERAMDL_TEST_FLAG", false));
+  unsetenv("RERAMDL_TEST_FLAG");
+  EXPECT_TRUE(env::env_flag("RERAMDL_TEST_FLAG", true));
+}
+
+TEST(Env, PathReturnsVerbatimOrEmpty) {
+  unsetenv("RERAMDL_TEST_PATH");
+  EXPECT_EQ(env::env_path("RERAMDL_TEST_PATH"), "");
+  setenv("RERAMDL_TEST_PATH", "/tmp/trace.json", 1);
+  EXPECT_EQ(env::env_path("RERAMDL_TEST_PATH"), "/tmp/trace.json");
+  unsetenv("RERAMDL_TEST_PATH");
 }
 
 }  // namespace

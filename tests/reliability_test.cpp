@@ -110,5 +110,61 @@ TEST(CrossbarDrift, InvalidFactorThrows) {
   EXPECT_THROW(xbar.apply_drift(1.5), CheckError);
 }
 
+TEST(Endurance, NegativeRateThrows) {
+  device::EnduranceModel m(device::EnduranceParams{});
+  EXPECT_THROW(m.lifetime_seconds(-1.0), CheckError);
+  EXPECT_THROW(m.lifetime_seconds(-1e-300), CheckError);
+}
+
+TEST(Retention, UnityUpToT0ThenStrictlyBelow) {
+  device::RetentionModel m(device::RetentionParams{0.01, 10.0});
+  // Everywhere at or before t0 the factor is exactly 1 (no partial decay).
+  for (double t : {0.0, 1e-9, 5.0, 10.0 - 1e-12, 10.0})
+    EXPECT_DOUBLE_EQ(m.drift_factor(t), 1.0);
+  // Immediately after t0 it drops below 1 and keeps decreasing.
+  const double just_after = m.drift_factor(10.0 + 1e-6);
+  EXPECT_LT(just_after, 1.0);
+  EXPECT_LT(m.drift_factor(11.0), just_after);
+  // Negative times are a caller bug, not "before programming".
+  EXPECT_THROW(m.drift_factor(-1.0), CheckError);
+}
+
+TEST(Retention, MonotonicOverDenseSweep) {
+  device::RetentionModel m(device::RetentionParams{0.005, 1.0});
+  double prev = 1.0;
+  for (double t = 1.5; t < 1e8; t *= 1.5) {
+    const double f = m.drift_factor(t);
+    EXPECT_LE(f, prev);
+    EXPECT_GT(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(CrossbarDrift, FastPathMatchesReferenceUnderActiveFaultMap) {
+  // apply_drift scales the stored levels and rebuilds W_eff; the collapsed
+  // fast path must stay bit-identical to the slice-walk oracle even when
+  // the levels carry stuck-at faults (whose cells drift like any other).
+  circuit::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 32;
+  circuit::Crossbar xbar(cfg);
+  Rng rng(6);
+  const Tensor w = Tensor::uniform(Shape{32, 32}, rng, -1.0f, 1.0f);
+  circuit::ProgramOptions opts;
+  opts.faults.stuck_at_off_rate = 0.02;
+  opts.faults.stuck_at_on_rate = 0.02;
+  opts.faults.seed = 99;
+  xbar.program(w, 1.0, opts);
+  EXPECT_GT(xbar.stats().stuck_cells, 0u);
+  xbar.apply_drift(0.9);
+  Rng xrng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<float> x(32);
+    for (auto& v : x) v = xrng.uniform(-1.0, 1.0);
+    const auto fast = xbar.compute(x, 1.0);
+    const auto ref = xbar.compute_reference(x, 1.0);
+    for (std::size_t j = 0; j < fast.size(); ++j) EXPECT_EQ(fast[j], ref[j]);
+  }
+}
+
 }  // namespace
 }  // namespace reramdl

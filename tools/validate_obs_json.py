@@ -13,6 +13,9 @@ Each FILE is classified by its content and validated accordingly:
     scope (e.g. examples that never touch the chip simulator).
   - Metrics dumps ("kind" == "reramdl_metrics"): counters are non-negative
     integers, gauges numbers, histograms carry consistent count/sum/buckets.
+  - Fault campaigns ("bench" == "fault_campaign"): modes x rates accuracy
+    grid, transient-injection section, and the campaign contract checks
+    (fault-free bit-identity, thread reproducibility, recovery target).
   - BENCH_*.json ("bench" key): schema_version, kernels with parallel
     time/speedup arrays.
 
@@ -94,6 +97,52 @@ def validate_metrics(path, doc):
           f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)")
 
 
+def validate_fault_campaign(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("workload"), str), path, "missing workload")
+    for key in ("float_acc", "fault_free_acc", "sigma", "recovery_bar"):
+        require(is_num(doc.get(key)), path, f"bad {key}")
+    rates = doc.get("rates")
+    require(isinstance(rates, list) and rates, path, "missing rates")
+    require(all(is_num(r) and r > 0 for r in rates), path, "bad rate value")
+    modes = doc.get("modes")
+    require(isinstance(modes, list) and modes, path, "missing modes")
+    for m in modes:
+        name = m.get("name")
+        require(isinstance(name, str), path, "mode missing name")
+        require(isinstance(m.get("write_verify"), bool), path,
+                f"mode {name} bad write_verify")
+        require(isinstance(m.get("spare_cols"), int), path,
+                f"mode {name} bad spare_cols")
+        cells = m.get("cells")
+        require(isinstance(cells, list) and len(cells) == len(rates), path,
+                f"mode {name} cells/rates mismatch")
+        for c in cells:
+            for key in ("rate", "accuracy", "recovery"):
+                require(is_num(c.get(key)), path, f"mode {name} bad {key}")
+            require(0.0 <= c["accuracy"] <= 1.0, path,
+                    f"mode {name} accuracy out of range")
+            for key in ("stuck_cells", "verify_retries", "defective_cells",
+                        "cells_remapped", "spare_cols_used"):
+                require(isinstance(c.get(key), int) and c[key] >= 0, path,
+                        f"mode {name} bad {key}")
+    transient = doc.get("transient")
+    require(isinstance(transient, dict), path, "missing transient section")
+    require(isinstance(transient.get("flips"), int), path, "bad transient flips")
+    for key in ("acc_before", "acc_after"):
+        require(is_num(transient.get(key)), path, f"bad transient {key}")
+    checks = doc.get("checks")
+    require(isinstance(checks, dict), path, "missing checks")
+    for key in ("fault_free_bit_identical", "reproducible_across_threads",
+                "recovery_target_met"):
+        require(isinstance(checks.get(key), bool), path, f"bad check {key}")
+    require(all(checks.values()), path,
+            "campaign contract violated: " + ", ".join(
+                k for k, v in checks.items() if not v))
+    print(f"{path}: fault campaign ok ({len(modes)} modes x "
+          f"{len(rates)} rates, recovery bar {doc['recovery_bar']})")
+
+
 def validate_bench(path, doc):
     require(doc.get("schema_version") == 1, path, "bad schema_version")
     require(isinstance(doc.get("bench"), str), path, "missing bench name")
@@ -127,6 +176,8 @@ def main(argv):
             validate_trace(path, doc, structural_only)
         elif doc.get("kind") == "reramdl_metrics":
             validate_metrics(path, doc)
+        elif doc.get("bench") == "fault_campaign":
+            validate_fault_campaign(path, doc)
         elif "bench" in doc:
             validate_bench(path, doc)
         else:
