@@ -1,0 +1,337 @@
+// Sparsity-aware crossbar MVM bench (DESIGN.md §12): sweeps activation
+// sparsity x batch size x thread count over Table-1-scale PipeLayer layer
+// shapes (128x128 arrays), comparing the zero-skipping variant (forced via
+// sparsity::set_threshold) against the dense kernel on the same programmed
+// grid. The sparse timing includes the scan + selection cost, so the
+// reported speedup is what the runtime selector actually delivers; at the
+// 0% level the selector correctly refuses the sparse variant, so that row
+// measures pure policy overhead.
+//
+// Enforced by exit code:
+//   * dense and sparse outputs bit-identical at every sweep point;
+//   * identical CrossbarStats deltas between the variants;
+//   * zero scratch::Buffer ledger growth across the timed reps of every
+//     (config, threads) point after its warm-up rep (steady-state
+//     allocation-freedom of the sparse path).
+//
+// Acceptance target (ISSUE 6, recorded in the JSON): sparse >= 1.5x dense
+// at 75% sparsity, batch 32, 8 threads, on at least one Table-1 shape.
+//
+// Flags:
+//   --quick       smaller shapes / fewer reps (CI smoke)
+//   --out=PATH    JSON output path (default BENCH_sparse_mvm.json)
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/crossbar_grid.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/scratch.hpp"
+#include "common/table.hpp"
+#include "obs/json_writer.hpp"
+#include "tensor/sparsity.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace reramdl;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t tensor_digest(const Tensor& t) {
+  return fnv1a(t.data(), t.numel() * sizeof(float), 0xcbf29ce484222325ULL);
+}
+
+struct LayerShape {
+  std::string name;
+  std::size_t rows, cols;  // full weight matrix, spread over 128x128 arrays
+};
+
+// The same Table-1 PipeLayer (AlexNet-class) GEMM shapes the batched-MVM
+// bench sweeps, so speedups compose across the two benches.
+std::vector<LayerShape> full_shapes() {
+  return {{"conv3_1152x512", 1152, 512},
+          {"conv5_1728x256", 1728, 256},
+          {"fc7_4096x1024", 4096, 1024}};
+}
+std::vector<LayerShape> quick_shapes() {
+  return {{"conv_quick_288x128", 288, 128}, {"fc_quick_512x256", 512, 256}};
+}
+
+// ReLU-style activation batch with the given fraction of exact zeros.
+Tensor make_sparse_rows(std::size_t m, std::size_t k, double zero_prob,
+                        unsigned seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::uniform(Shape{m, k}, rng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (rng.uniform(0.0, 1.0) < zero_prob) t[i] = 0.0f;
+  return t;
+}
+
+constexpr double kForceSparse = 1e-9;  // any nonzero fraction selects sparse
+constexpr double kForceDense = 0.0;
+
+struct Meas {
+  double ms = 1e300;
+  std::uint64_t digest = 0;
+};
+
+Meas run_variant(circuit::CrossbarGrid& grid, const Tensor& rows,
+                 double threshold, std::size_t reps) {
+  sparsity::set_threshold(threshold);
+  Meas best;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const Tensor out = grid.compute_batch(rows, 1.0);
+    const auto t1 = Clock::now();
+    best.ms = std::min(
+        best.ms,
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count());
+    best.digest = tensor_digest(out);
+  }
+  return best;
+}
+
+struct StatsSnapshot {
+  std::uint64_t compute_ops, input_spikes, saturated;
+};
+
+StatsSnapshot snapshot(const circuit::CrossbarGrid& grid) {
+  const circuit::CrossbarStats s = grid.aggregate_stats();
+  return {s.compute_ops, s.input_spikes, s.saturated_counters};
+}
+
+bool deltas_equal(const StatsSnapshot& a0, const StatsSnapshot& a1,
+                  const StatsSnapshot& b0, const StatsSnapshot& b1) {
+  return a1.compute_ops - a0.compute_ops == b1.compute_ops - b0.compute_ops &&
+         a1.input_spikes - a0.input_spikes ==
+             b1.input_spikes - b0.input_spikes &&
+         a1.saturated - a0.saturated == b1.saturated - b0.saturated;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_sparse_mvm.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--help") {
+      std::cout << "usage: bench_sparse_mvm [--quick] [--out=PATH]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg
+                << "\nusage: bench_sparse_mvm [--quick] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<double> levels{0.0, 0.5, 0.75, 0.9};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  const std::vector<std::size_t> batch_sizes{8, 32};
+  const auto shapes = quick ? quick_shapes() : full_shapes();
+  const std::size_t reps = quick ? 1 : 3;
+
+  bool bit_identical = true;
+  bool stats_identical = true;
+  bool ledger_steady = true;
+
+  // Sweep. One grid per shape, programmed once; each (sparsity, batch)
+  // point runs the dense oracle then the forced-sparse variant on the same
+  // grid, so output digests AND stats deltas must match exactly.
+  struct Row {
+    const LayerShape* shape;
+    double level;
+    std::size_t batch;
+    std::vector<Meas> dense, sparse;  // indexed by thread_counts
+  };
+  std::vector<Row> rows_out;
+
+  for (const auto& sh : shapes) {
+    Rng wrng(2018);
+    const Tensor w =
+        Tensor::uniform(Shape{sh.rows, sh.cols}, wrng, -0.5f, 0.5f);
+    circuit::CrossbarConfig cfg;  // 128x128 PipeLayer arrays
+    circuit::CrossbarGrid grid(cfg);
+    grid.program(w, 1.0);
+
+    // Correctness pass at batch 33 (straddles the 32-row kernel block).
+    for (const double lvl : levels) {
+      const Tensor probe = make_sparse_rows(
+          33, sh.rows, lvl, 7u + static_cast<unsigned>(lvl * 100));
+      const StatsSnapshot d0 = snapshot(grid);
+      sparsity::set_threshold(kForceDense);
+      const std::uint64_t dense_digest =
+          tensor_digest(grid.compute_batch(probe, 1.0));
+      const StatsSnapshot d1 = snapshot(grid);
+      sparsity::set_threshold(kForceSparse);
+      const std::uint64_t sparse_digest =
+          tensor_digest(grid.compute_batch(probe, 1.0));
+      const StatsSnapshot d2 = snapshot(grid);
+      if (dense_digest != sparse_digest) {
+        bit_identical = false;
+        std::cerr << "BIT MISMATCH: " << sh.name << " sparsity " << lvl
+                  << "\n";
+      }
+      if (!deltas_equal(d0, d1, d1, d2)) {
+        stats_identical = false;
+        std::cerr << "STATS MISMATCH: " << sh.name << " sparsity " << lvl
+                  << "\n";
+      }
+    }
+
+    // Timing sweep.
+    for (const double lvl : levels) {
+      for (const std::size_t b : batch_sizes) {
+        const Tensor rows = make_sparse_rows(
+            b, sh.rows, lvl, 11u + static_cast<unsigned>(lvl * 100));
+        Row row{&sh, lvl, b, {}, {}};
+        for (const std::size_t t : thread_counts) {
+          parallel::set_thread_count(t);
+          // Warm rep per variant fills the thread-local scratch pools for
+          // this worker set; the timed reps must then be allocation-free.
+          (void)run_variant(grid, rows, kForceDense, 1);
+          (void)run_variant(grid, rows, kForceSparse, 1);
+          const std::size_t warm_bytes = scratch::buffer_bytes_allocated();
+          const Meas dense = run_variant(grid, rows, kForceDense, reps);
+          const Meas sparse = run_variant(grid, rows, kForceSparse, reps);
+          if (scratch::buffer_bytes_allocated() != warm_bytes) {
+            ledger_steady = false;
+            std::cerr << "LEDGER GREW: " << sh.name << " sparsity " << lvl
+                      << " batch " << b << " threads " << t << " ("
+                      << warm_bytes << " -> "
+                      << scratch::buffer_bytes_allocated() << " bytes)\n";
+          }
+          if (dense.digest != sparse.digest) bit_identical = false;
+          row.dense.push_back(dense);
+          row.sparse.push_back(sparse);
+        }
+        rows_out.push_back(std::move(row));
+      }
+    }
+  }
+  parallel::set_thread_count(0);  // restore environment default
+  sparsity::set_threshold(-1.0);  // drop the override
+
+  // Acceptance: sparse vs dense at 75% sparsity, batch 32, 8 threads; met
+  // when any Table-1 shape clears 1.5x.
+  const double accept_level = 0.75;
+  const std::size_t accept_batch = 32;
+  const std::size_t t8 = thread_counts.size() - 1;
+  double best_accept = 0.0;
+  std::string best_shape = "-";
+  TablePrinter table({"shape", "sparsity", "batch", "dense@8t ms",
+                      "sparse@8t ms", "speedup"});
+  for (const auto& r : rows_out) {
+    const double s = r.dense[t8].ms / r.sparse[t8].ms;
+    if (r.level == accept_level && r.batch == accept_batch &&
+        s > best_accept) {
+      best_accept = s;
+      best_shape = r.shape->name;
+    }
+    table.add_row({r.shape->name, TablePrinter::fmt(r.level * 100, 0) + "%",
+                   std::to_string(r.batch),
+                   TablePrinter::fmt(r.dense[t8].ms, 2),
+                   TablePrinter::fmt(r.sparse[t8].ms, 2),
+                   TablePrinter::fmt_times(s)});
+  }
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::cout << "Sparse crossbar MVM sweep (Table-1 PipeLayer shapes"
+            << (quick ? ", quick" : "") << "), host concurrency " << hc
+            << "\n";
+  table.print(std::cout);
+  std::cout << "best sparse-vs-dense speedup @ " << accept_level * 100
+            << "% sparsity, batch " << accept_batch << ", 8 threads: "
+            << TablePrinter::fmt_times(best_accept) << " (" << best_shape
+            << ")"
+            << (best_accept >= 1.5 ? "  (>= 1.5x target met)"
+                                   : "  (below 1.5x target)")
+            << "\n  bit-identical: " << (bit_identical ? "yes" : "NO")
+            << "  stats-identical: " << (stats_identical ? "yes" : "NO")
+            << "  scratch-ledger steady: " << (ledger_steady ? "yes" : "NO")
+            << "\n";
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  obs::JsonWriter w(json);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", "sparse_mvm");
+  w.kv("workload", "table1_pipelayer_shapes");
+  w.kv("quick", quick);
+  w.kv("host_hardware_concurrency", hc);
+  w.key("threads");
+  w.begin_array();
+  for (const std::size_t t : thread_counts) w.value(t);
+  w.end_array();
+  w.key("batch_sizes");
+  w.begin_array();
+  for (const std::size_t b : batch_sizes) w.value(b);
+  w.end_array();
+  w.key("sparsity_levels");
+  w.begin_array();
+  for (const double lvl : levels) w.value(lvl);
+  w.end_array();
+  w.kv("bit_identical", bit_identical);
+  w.kv("stats_identical", stats_identical);
+  w.kv("scratch_ledger_steady", ledger_steady);
+  w.kv("scratch_buffer_bytes", scratch::buffer_bytes_allocated());
+  w.kv("scratch_buffer_growth_events", scratch::buffer_growth_events());
+  w.key("sweeps");
+  w.begin_array();
+  for (const auto& r : rows_out) {
+    w.begin_object();
+    w.kv("shape", r.shape->name);
+    w.kv("shape_rows", r.shape->rows);
+    w.kv("shape_cols", r.shape->cols);
+    w.kv("sparsity", r.level);
+    w.kv("batch", r.batch);
+    w.key("dense_time_ms");
+    w.begin_array();
+    for (const auto& m : r.dense) w.value(m.ms);
+    w.end_array();
+    w.key("sparse_time_ms");
+    w.begin_array();
+    for (const auto& m : r.sparse) w.value(m.ms);
+    w.end_array();
+    w.key("speedup_sparse_vs_dense");
+    w.begin_array();
+    for (std::size_t t = 0; t < thread_counts.size(); ++t)
+      w.value(r.dense[t].ms / r.sparse[t].ms);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("accept_sparsity", accept_level);
+  w.kv("accept_batch", accept_batch);
+  w.kv("best_speedup_75_b32_8t", best_accept);
+  w.kv("best_shape_75_b32_8t", best_shape);
+  w.kv("meets_1p5x_target", best_accept >= 1.5);
+  w.end_object();
+  w.finish();
+  std::cout << "wrote " << out_path << "\n";
+  return (bit_identical && stats_identical && ledger_steady) ? 0 : 1;
+}

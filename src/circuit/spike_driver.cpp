@@ -28,6 +28,13 @@ SpikeTrain SpikeDriver::encode(double value) const {
   return t;
 }
 
+double SpikeDriver::drive_energy_pj(const SpikeTrain& train,
+                                    double pj_per_spike) const {
+  RERAMDL_CHECK_EQ(train.bits.size(), input_bits_);
+  RERAMDL_CHECK_GE(pj_per_spike, 0.0);
+  return static_cast<double>(train.spike_count()) * pj_per_spike;
+}
+
 double SpikeDriver::decode(const SpikeTrain& train) const {
   RERAMDL_CHECK_EQ(train.bits.size(), input_bits_);
   std::uint64_t mag = 0;

@@ -28,6 +28,16 @@ class SpikeDriver {
   // used in tests to show encode is lossless up to quantization).
   double decode(const SpikeTrain& train) const;
 
+  // Modeled dynamic drive energy for one train: each '1' phase costs one
+  // spike's wordline charge; phases without a spike drive nothing. A zero
+  // input therefore costs exactly zero — the property the zero-skipping
+  // execution path exploits (DESIGN.md §12). Default per-spike cost is a
+  // 1-bit DAC drive in the ISAAC/PipeLayer energy regime; the arch layer
+  // books array activation and static power separately.
+  static constexpr double kDefaultSpikePj = 0.0039;
+  double drive_energy_pj(const SpikeTrain& train,
+                         double pj_per_spike = kDefaultSpikePj) const;
+
   std::size_t input_bits() const { return input_bits_; }
   const device::LinearQuantizer& quantizer() const { return quantizer_; }
 

@@ -62,6 +62,28 @@ inline long long env_int(const char* name, long long fallback,
   return v;
 }
 
+// Floating-point knob: unset -> fallback; a value outside [lo, hi] or with
+// trailing garbage (partial parses like "0.5x" included) warns once and
+// returns fallback.
+inline double env_double(const char* name, double fallback,
+                         double lo = -std::numeric_limits<double>::infinity(),
+                         double hi = std::numeric_limits<double>::infinity()) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw, &end);
+  if (errno != 0 || end == raw || *end != '\0' || v != v) {
+    detail::warn_invalid(name, raw, "not a number");
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    detail::warn_invalid(name, raw, "out of range");
+    return fallback;
+  }
+  return v;
+}
+
 // Boolean knob: accepts 0/1/true/false/on/off (case-sensitive, matching the
 // documented spellings); anything else warns once and returns fallback.
 inline bool env_flag(const char* name, bool fallback) {

@@ -66,6 +66,45 @@ inline std::uint64_t arena_growth_events() {
   return detail::arena_growths().load(std::memory_order_relaxed);
 }
 
+// ---- Buffer ledger ----------------------------------------------------------
+//
+// Monotonic counters mirroring the arena ledger above, but for the
+// thread-local Buffer<T> pools: every checkout that has to grow its backing
+// vector (a pool miss or an undersized pooled vector) books the added bytes
+// and one growth event. Steady-state kernels — including the sparse gather
+// path's index/value staging — must stop moving these after warm-up, which
+// bench_sparse_mvm and the sparsity tests assert the same way the training
+// bench asserts arena_growth_events(). Monotonic on purpose: pool retirement
+// (worker TLS destruction) frees memory but never un-counts it, so "stopped
+// growing" is a one-sided, race-free check.
+
+namespace detail {
+inline std::atomic<std::size_t>& buffer_bytes() {
+  static std::atomic<std::size_t> v{0};
+  return v;
+}
+inline std::atomic<std::uint64_t>& buffer_growths() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+}  // namespace detail
+
+inline void buffer_account_grow(std::size_t delta_bytes) {
+  if (delta_bytes == 0) return;
+  detail::buffer_bytes().fetch_add(delta_bytes, std::memory_order_relaxed);
+  detail::buffer_growths().fetch_add(1, std::memory_order_relaxed);
+}
+
+// Total bytes ever allocated into scratch buffers (never decreases).
+inline std::size_t buffer_bytes_allocated() {
+  return detail::buffer_bytes().load(std::memory_order_relaxed);
+}
+
+// Number of backing-store growths since process start (never decreases).
+inline std::uint64_t buffer_growth_events() {
+  return detail::buffer_growths().load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 template <typename T>
@@ -85,7 +124,12 @@ class Buffer {
       v_ = std::move(pool.back());
       pool.pop_back();
     }
-    if (v_.size() < n) v_.resize(n);
+    if (v_.size() < n) {
+      const std::size_t before = v_.capacity();
+      v_.resize(n);
+      if (v_.capacity() > before)
+        buffer_account_grow((v_.capacity() - before) * sizeof(T));
+    }
   }
 
   ~Buffer() {

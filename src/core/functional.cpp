@@ -7,6 +7,7 @@
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/transposed_conv2d.hpp"
+#include "tensor/sparsity.hpp"
 
 namespace reramdl::core {
 
@@ -23,22 +24,18 @@ struct CrossbarExecutor::Binding {
       RERAMDL_CHECK_EQ(rows.shape().rank(), 2u);
       RERAMDL_CHECK_EQ(rows.shape()[1], g->total_rows());
       RERAMDL_CHECK_EQ(weights.shape()[1], g->total_cols());
-      // Per-call dynamic input range, as the spike drivers rescale per layer.
-      // Max is insensitive to association order, so the parallel reduce is
-      // exact for any thread count.
-      const double x_max = parallel::parallel_reduce(
-          0, rows.numel(), 65536, 1e-12,
-          [&](std::size_t i0, std::size_t i1) {
-            double m = 1e-12;
-            for (std::size_t i = i0; i < i1; ++i)
-              m = std::max(m, static_cast<double>(std::abs(rows[i])));
-            return m;
-          },
-          [](double a, double b) { return std::max(a, b); });
+      // One fused traversal yields both the per-call dynamic input range
+      // (the spike drivers rescale per layer; max is association-insensitive
+      // so the parallel scan is exact for any thread count) and the batch's
+      // zero fraction for the grid's sparse/dense variant selection —
+      // previously a dedicated max-only reduce, i.e. the scan that feeds the
+      // sparsity policy is free here.
+      const sparsity::ScanStats scan =
+          sparsity::scan_rows(rows.data(), rows.shape()[0], rows.shape()[1]);
       // Batched fast path: the whole activation matrix dispatches as one
       // (tile x row-block) grid job — bit-identical to looping compute()
       // per row, without the per-row copies and per-row pool regions.
-      return g->compute_batch(rows, x_max);
+      return g->compute_batch(rows, scan.max_abs, scan.zero_fraction());
     };
     if (auto* d = dynamic_cast<nn::Dense*>(layer)) d->set_forward_matmul(hook);
     else if (auto* c = dynamic_cast<nn::Conv2D*>(layer)) c->set_forward_matmul(hook);

@@ -13,6 +13,14 @@
 // result lands in (or accumulates into) a caller-owned tensor instead of a
 // fresh allocation. Each is bit-identical to composing its allocating
 // counterpart with `=` / `+=`.
+//
+// matmul / matmul_transposed_b_packed / matmul_transposed_a additionally
+// carry zero-skipping variants selected at runtime by the sparsity policy
+// (tensor/sparsity.hpp, RERAMDL_SPARSE_THRESHOLD) when the A operand is
+// sparse enough; every variant executes the dense kernel's per-element
+// double-accumulation sequence minus only exact-zero terms, so dense and
+// sparse results are bit-identical for finite operands and the dense path
+// remains the oracle.
 #pragma once
 
 #include "tensor/tensor.hpp"

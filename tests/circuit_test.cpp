@@ -269,6 +269,30 @@ TEST(SpikeDriver, SignCarriedByPhase) {
   EXPECT_TRUE(drv.encode(-0.5).negative);
 }
 
+TEST(SpikeDriver, ZeroInputDrivesNoSpikesAndNoEnergy) {
+  // The property the zero-skipping execution path banks on (DESIGN.md §12):
+  // a zero activation encodes to an empty train, so its wordline costs
+  // exactly nothing — no spikes, no modeled drive energy.
+  SpikeDriver drv(8, 1.0);
+  const SpikeTrain z = drv.encode(0.0);
+  EXPECT_EQ(z.spike_count(), 0u);
+  EXPECT_EQ(drv.drive_energy_pj(z), 0.0);
+  // Sub-LSB values quantize to zero and are equally free.
+  const SpikeTrain tiny = drv.encode(drv.quantizer().step() * 0.49);
+  EXPECT_EQ(tiny.spike_count(), 0u);
+  EXPECT_EQ(drv.drive_energy_pj(tiny), 0.0);
+}
+
+TEST(SpikeDriver, DriveEnergyScalesWithSpikeCount) {
+  SpikeDriver drv(8, 1.0);
+  const SpikeTrain full = drv.encode(0.999);  // all 8 phases spike
+  EXPECT_DOUBLE_EQ(drv.drive_energy_pj(full),
+                   8.0 * SpikeDriver::kDefaultSpikePj);
+  EXPECT_DOUBLE_EQ(drv.drive_energy_pj(full, 0.5), 4.0);
+  const SpikeTrain neg = drv.encode(-0.999);  // polarity doesn't change cost
+  EXPECT_DOUBLE_EQ(drv.drive_energy_pj(neg), drv.drive_energy_pj(full));
+}
+
 TEST(IntegrateFire, CountsThresholdCrossings) {
   IntegrateFire inf(2.0, 8);
   EXPECT_EQ(inf.convert(0.0), 0u);

@@ -143,6 +143,58 @@ def validate_fault_campaign(path, doc):
           f"{len(rates)} rates, recovery bar {doc['recovery_bar']})")
 
 
+def validate_sparse_mvm(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("workload"), str), path, "missing workload")
+    require(isinstance(doc.get("quick"), bool), path, "bad quick flag")
+    threads = doc.get("threads")
+    require(isinstance(threads, list) and threads, path, "missing threads")
+    batches = doc.get("batch_sizes")
+    require(isinstance(batches, list) and batches and
+            all(isinstance(x, int) for x in batches), path, "bad batch_sizes")
+    levels = doc.get("sparsity_levels")
+    require(isinstance(levels, list) and levels and
+            all(is_num(x) and 0.0 <= x <= 1.0 for x in levels), path,
+            "bad sparsity_levels")
+    for key in ("scratch_buffer_bytes", "scratch_buffer_growth_events"):
+        require(isinstance(doc.get(key), int) and doc[key] >= 0, path,
+                f"bad {key}")
+    sweeps = doc.get("sweeps")
+    require(isinstance(sweeps, list) and sweeps, path, "missing sweeps")
+    for s in sweeps:
+        shape = s.get("shape")
+        require(isinstance(shape, str), path, "sweep missing shape")
+        for key in ("shape_rows", "shape_cols", "batch"):
+            require(isinstance(s.get(key), int) and s[key] >= 0, path,
+                    f"sweep {shape} bad {key}")
+        require(is_num(s.get("sparsity")) and 0.0 <= s["sparsity"] <= 1.0,
+                path, f"sweep {shape} bad sparsity")
+        require(s["sparsity"] in doc["sparsity_levels"], path,
+                f"sweep {shape} sparsity not in sparsity_levels")
+        require(s["batch"] in doc["batch_sizes"], path,
+                f"sweep {shape} batch not in batch_sizes")
+        for key in ("dense_time_ms", "sparse_time_ms",
+                    "speedup_sparse_vs_dense"):
+            arr = s.get(key)
+            require(isinstance(arr, list) and len(arr) == len(threads), path,
+                    f"sweep {shape} bad {key}")
+            require(all(is_num(x) and x >= 0 for x in arr), path,
+                    f"sweep {shape} non-numeric {key}")
+    for key in ("accept_sparsity", "accept_batch", "best_speedup_75_b32_8t"):
+        require(is_num(doc.get(key)), path, f"bad {key}")
+    require(isinstance(doc.get("best_shape_75_b32_8t"), str), path,
+            "bad best_shape_75_b32_8t")
+    require(isinstance(doc.get("meets_1p5x_target"), bool), path,
+            "bad meets_1p5x_target")
+    # The correctness contract is a hard gate (perf is advisory, reported via
+    # meets_1p5x_target): the sparse variant must be bitwise dense-identical,
+    # leave CrossbarStats unperturbed, and hold the scratch ledger steady.
+    for key in ("bit_identical", "stats_identical", "scratch_ledger_steady"):
+        require(doc.get(key) is True, path, f"contract violated: {key}")
+    print(f"{path}: sparse_mvm ok ({len(sweeps)} sweeps, "
+          f"best 75%/b32/8t speedup {doc['best_speedup_75_b32_8t']:.2f}x)")
+
+
 def validate_bench(path, doc):
     require(doc.get("schema_version") == 1, path, "bad schema_version")
     require(isinstance(doc.get("bench"), str), path, "missing bench name")
@@ -178,6 +230,8 @@ def main(argv):
             validate_metrics(path, doc)
         elif doc.get("bench") == "fault_campaign":
             validate_fault_campaign(path, doc)
+        elif doc.get("bench") == "sparse_mvm":
+            validate_sparse_mvm(path, doc)
         elif "bench" in doc:
             validate_bench(path, doc)
         else:
