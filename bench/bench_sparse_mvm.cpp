@@ -36,6 +36,7 @@
 #include "common/scratch.hpp"
 #include "common/table.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/summary.hpp"
 #include "tensor/sparsity.hpp"
 #include "tensor/tensor.hpp"
 
@@ -87,8 +88,11 @@ constexpr double kForceSparse = 1e-9;  // any nonzero fraction selects sparse
 constexpr double kForceDense = 0.0;
 
 struct Meas {
-  double ms = 1e300;
+  obs::SampleSummary ms;  // per-rep latencies (all retained)
   std::uint64_t digest = 0;
+
+  // Best-of-reps latency — the headline number tables and speedups use.
+  double best_ms() const { return ms.min(); }
 };
 
 Meas run_variant(circuit::CrossbarGrid& grid, const Tensor& rows,
@@ -99,8 +103,7 @@ Meas run_variant(circuit::CrossbarGrid& grid, const Tensor& rows,
     const auto t0 = Clock::now();
     const Tensor out = grid.compute_batch(rows, 1.0);
     const auto t1 = Clock::now();
-    best.ms = std::min(
-        best.ms,
+    best.ms.add(
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             t1 - t0)
             .count());
@@ -242,7 +245,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"shape", "sparsity", "batch", "dense@8t ms",
                       "sparse@8t ms", "speedup"});
   for (const auto& r : rows_out) {
-    const double s = r.dense[t8].ms / r.sparse[t8].ms;
+    const double s = r.dense[t8].best_ms() / r.sparse[t8].best_ms();
     if (r.level == accept_level && r.batch == accept_batch &&
         s > best_accept) {
       best_accept = s;
@@ -250,8 +253,8 @@ int main(int argc, char** argv) {
     }
     table.add_row({r.shape->name, TablePrinter::fmt(r.level * 100, 0) + "%",
                    std::to_string(r.batch),
-                   TablePrinter::fmt(r.dense[t8].ms, 2),
-                   TablePrinter::fmt(r.sparse[t8].ms, 2),
+                   TablePrinter::fmt(r.dense[t8].best_ms(), 2),
+                   TablePrinter::fmt(r.sparse[t8].best_ms(), 2),
                    TablePrinter::fmt_times(s)});
   }
 
@@ -311,16 +314,26 @@ int main(int argc, char** argv) {
     w.kv("batch", r.batch);
     w.key("dense_time_ms");
     w.begin_array();
-    for (const auto& m : r.dense) w.value(m.ms);
+    for (const auto& m : r.dense) w.value(m.best_ms());
     w.end_array();
     w.key("sparse_time_ms");
     w.begin_array();
-    for (const auto& m : r.sparse) w.value(m.ms);
+    for (const auto& m : r.sparse) w.value(m.best_ms());
+    w.end_array();
+    // Full per-rep distributions per thread count (shared obs helper:
+    // count/min/max/mean/p50/p90/p99 over the retained samples).
+    w.key("dense_summary");
+    w.begin_array();
+    for (const auto& m : r.dense) m.ms.write_json(w);
+    w.end_array();
+    w.key("sparse_summary");
+    w.begin_array();
+    for (const auto& m : r.sparse) m.ms.write_json(w);
     w.end_array();
     w.key("speedup_sparse_vs_dense");
     w.begin_array();
     for (std::size_t t = 0; t < thread_counts.size(); ++t)
-      w.value(r.dense[t].ms / r.sparse[t].ms);
+      w.value(r.dense[t].best_ms() / r.sparse[t].best_ms());
     w.end_array();
     w.end_object();
   }

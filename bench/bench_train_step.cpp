@@ -31,6 +31,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/summary.hpp"
 #include "tensor/conv_plan.hpp"
 #include "workload/datasets.hpp"
 #include "workload/model_zoo.hpp"
@@ -155,9 +156,12 @@ std::unique_ptr<Runner> make_runner(const WorkloadDef& wl) {
 }
 
 struct Meas {
-  double step_ms = 1e300;           // best per-step latency
+  obs::SampleSummary step_ms;       // per-rep step latencies (all retained)
   std::uint64_t digest = 0;         // final model state
   std::uint64_t steady_growth = 0;  // arena growths after warm-up
+
+  // Best-of-reps latency — the headline number tables and speedups use.
+  double best_ms() const { return step_ms.min(); }
 };
 
 // Fresh model, one warm-up epoch (plan build + arena sizing), then `reps`
@@ -177,7 +181,7 @@ Meas run_workload(const WorkloadDef& wl, bool cached, std::size_t reps) {
             t1 - t0)
             .count() /
         static_cast<double>(runner->steps_per_epoch());
-    m.step_ms = std::min(m.step_ms, ms);
+    m.step_ms.add(ms);
   }
   m.steady_growth = scratch::arena_growth_events() - growth0;
   m.digest = runner->digest();
@@ -250,15 +254,15 @@ int main(int argc, char** argv) {
       const auto& r = results[w][mode];
       std::string vs = "-";
       if (mode == 1) {
-        const double s = results[w][0][t8].step_ms / r[t8].step_ms;
+        const double s = results[w][0][t8].best_ms() / r[t8].best_ms();
         vs = TablePrinter::fmt_times(s);
         speedups.push_back(s);
       }
       table.add_row({workloads[w].name + (mode ? "_cached" : "_uncached"),
-                     TablePrinter::fmt(r[0].step_ms, 2),
-                     TablePrinter::fmt(r[1].step_ms, 2),
-                     TablePrinter::fmt(r[2].step_ms, 2),
-                     TablePrinter::fmt(r[3].step_ms, 2), vs});
+                     TablePrinter::fmt(r[0].best_ms(), 2),
+                     TablePrinter::fmt(r[1].best_ms(), 2),
+                     TablePrinter::fmt(r[2].best_ms(), 2),
+                     TablePrinter::fmt(r[3].best_ms(), 2), vs});
     }
   double log_sum = 0.0;
   for (const double s : speedups) log_sum += std::log(s);
@@ -308,17 +312,23 @@ int main(int argc, char** argv) {
       w.kv("batch", workloads[i].batch);
       w.key("time_ms");
       w.begin_array();
-      for (const auto& m : r) w.value(m.step_ms);
+      for (const auto& m : r) w.value(m.best_ms());
+      w.end_array();
+      // Full per-rep distribution per thread count (shared obs helper:
+      // count/min/max/mean/p50/p90/p99 over the retained samples).
+      w.key("step_ms_summary");
+      w.begin_array();
+      for (const auto& m : r) m.step_ms.write_json(w);
       w.end_array();
       w.key("speedup_vs_1t");
       w.begin_array();
-      for (const auto& m : r) w.value(r[0].step_ms / m.step_ms);
+      for (const auto& m : r) w.value(r[0].best_ms() / m.best_ms());
       w.end_array();
       if (mode == 1) {
         w.key("speedup_vs_uncached");
         w.begin_array();
         for (std::size_t t = 0; t < thread_counts.size(); ++t)
-          w.value(results[i][0][t].step_ms / r[t].step_ms);
+          w.value(results[i][0][t].best_ms() / r[t].best_ms());
         w.end_array();
       }
       w.end_object();

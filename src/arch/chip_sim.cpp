@@ -40,6 +40,12 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
   // keeping the chip report identical for any RERAMDL_THREADS.
   std::vector<ExecutionReport> bank_reports(by_bank.size());
   std::vector<char> bank_active(by_bank.size(), 0);
+  // Per-kSync segment capture feeds the per-layer attribution below; each
+  // bank writes only its own slot, and the serial fold order downstream is
+  // fixed, so the attribution tree is identical for any RERAMDL_THREADS.
+  const bool attributing = obs::metrics_enabled();
+  std::vector<std::vector<ExecutionReport>> bank_segments(
+      attributing ? by_bank.size() : 0);
   parallel::parallel_for(0, by_bank.size(), 1, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t bank_id = b0; bank_id < b1; ++bank_id) {
       if (by_bank[bank_id].empty()) continue;
@@ -59,7 +65,8 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
 
       Bank bank(chip_, isa_bank);
       BankController controller(bank);
-      bank_reports[bank_id] = controller.run(program);
+      bank_reports[bank_id] = controller.run(
+          program, attributing ? &bank_segments[bank_id] : nullptr);
       bank_active[bank_id] = 1;
     }
   });
@@ -119,7 +126,36 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
     sim_epoch_us_ += report.latency_ns() * 1e-3;
   }
 
-  if (obs::metrics_enabled()) {
+  if (attributing) {
+    // Fold the per-bank segment reports into the chip -> bank -> layer
+    // attribution tree. Lowering emits one kSync-terminated segment per
+    // layer pass (the forward prologue's CFG instructions ride in the first
+    // segment); a training program appends a final updates+SYNC segment,
+    // booked under the bank's "update" node. Latency here is per-node work
+    // (busy time), so the tree rollup reconciles exactly — the chip-level
+    // critical-path latency stays in the chip.latency_ns gauge.
+    auto& attr = obs::Attribution::instance();
+    for (std::size_t bank_id = 0; bank_id < by_bank.size(); ++bank_id) {
+      if (!bank_active[bank_id]) continue;
+      const auto& lyr = by_bank[bank_id];
+      const std::string bank_path = "chip/bank" + std::to_string(bank_id);
+      const auto& segs = bank_segments[bank_id];
+      const std::size_t layer_segments =
+          training ? 3 * batch * lyr.size() : lyr.size();
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        const std::string path =
+            s < layer_segments
+                ? bank_path + "/layer" + std::to_string(lyr[s % lyr.size()])
+                : bank_path + "/update";
+        attr.add(path, "latency_ns", segs[s].busy_ns);
+        attr.add(path, "energy_pj", segs[s].energy.total_pj());
+        attr.add(path, "instructions",
+                 static_cast<double>(segs[s].instructions));
+      }
+    }
+    attr.add("chip/noc", "latency_ns", report.noc_ns);
+    attr.add("chip/noc", "energy_pj", report.energy.component_pj("noc"));
+
     auto& reg = obs::Registry::instance();
     static obs::Counter& runs = reg.counter("chip.runs");
     static obs::Counter& instructions = reg.counter("chip.instructions");
@@ -130,6 +166,9 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
     for (const auto& [component, pj] : report.energy.breakdown())
       reg.gauge("chip.energy_pj." + component).set(pj);
   }
+  // Each chip run is one simulated step — the Snapshotter's primary clock
+  // for chip-sim-driven workloads (no-op when metrics are off).
+  obs::snapshot_tick();
   return report;
 }
 

@@ -6,13 +6,40 @@ namespace reramdl::arch {
 
 BankController::BankController(Bank& bank) : bank_(bank) {}
 
-ExecutionReport BankController::run(const std::vector<std::uint32_t>& program) {
+namespace {
+
+// Delta between two accumulation snapshots of the same run; energy diffs
+// component-wise (only components that moved are booked).
+ExecutionReport report_delta(const ExecutionReport& now,
+                             const ExecutionReport& mark) {
+  ExecutionReport d;
+  d.instructions = now.instructions - mark.instructions;
+  d.busy_ns = now.busy_ns - mark.busy_ns;
+  d.sync_points = now.sync_points - mark.sync_points;
+  for (const auto& [component, pj] : now.energy.breakdown()) {
+    const double moved = pj - mark.energy.component_pj(component);
+    if (moved != 0.0) d.energy.add(component, moved);
+  }
+  return d;
+}
+
+}  // namespace
+
+ExecutionReport BankController::run(const std::vector<std::uint32_t>& program,
+                                    std::vector<ExecutionReport>* segments) {
   ExecutionReport report;
+  ExecutionReport mark;  // snapshot at the last segment boundary
   for (const std::uint32_t word : program) {
     const Instruction inst = decode(word);
     report.busy_ns += execute(inst, report);
     ++report.instructions;
+    if (segments != nullptr && inst.op == Opcode::kSync) {
+      segments->push_back(report_delta(report, mark));
+      mark = report;
+    }
   }
+  if (segments != nullptr && report.instructions > mark.instructions)
+    segments->push_back(report_delta(report, mark));
   return report;
 }
 

@@ -24,7 +24,15 @@ class BankController {
 
   // Execute an encoded program sequentially; throws CheckError on illegal
   // instructions (e.g. COMPUTE on a memory-mode subarray).
-  ExecutionReport run(const std::vector<std::uint32_t>& program);
+  //
+  // When `segments` is non-null the run is additionally split at every
+  // kSync into per-segment ExecutionReport deltas (appended in program
+  // order, trailing partial segment included). The lowering layer ends each
+  // layer pass with a kSync, so segments map 1:1 onto layer passes — the
+  // per-layer feed for obs::Attribution. Capture never changes execution or
+  // the returned totals; pass nullptr (the default) on hot paths.
+  ExecutionReport run(const std::vector<std::uint32_t>& program,
+                      std::vector<ExecutionReport>* segments = nullptr);
 
  private:
   double execute(const Instruction& inst, ExecutionReport& report);

@@ -177,6 +177,10 @@ void Crossbar::program(const Tensor& weights, double w_max,
 void Crossbar::program(const Tensor& weights, double w_max,
                        const ProgramOptions& opts) {
   RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
+  // Snapshot for the write-verify obs counter below: stats_ accumulates
+  // across reprograms, the counter books only this pass's retries.
+  const std::uint64_t retries_before = stats_.verify_retries;
+  const std::uint64_t defects_before = stats_.defective_cells;
   r_ = weights.shape()[0];
   c_ = weights.shape()[1];
   RERAMDL_CHECK_LE(r_, config_.rows);
@@ -293,6 +297,14 @@ void Crossbar::program(const Tensor& weights, double w_max,
       reg.counter("xbar.faults_injected").add(stuck_active);
     if (remapped_cells > 0)
       reg.counter("xbar.cells_remapped").add(remapped_cells);
+    // Closed-loop write-verify cost of this programming pass (PR-5 coverage
+    // gap: previously only visible in aggregated CrossbarStats).
+    if (stats_.verify_retries > retries_before)
+      reg.counter("xbar.verify_retries")
+          .add(stats_.verify_retries - retries_before);
+    if (stats_.defective_cells > defects_before)
+      reg.counter("xbar.defective_cells")
+          .add(stats_.defective_cells - defects_before);
   }
   rebuild_w_eff();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "circuit/spike_driver.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/scratch.hpp"
@@ -58,6 +59,22 @@ void CrossbarGrid::program(const Tensor& weights, double w_max,
       xbar.program(tile, w_max, tile_opts);
       arrays_.push_back(std::move(xbar));
     }
+  }
+  attribute_program_stats();
+}
+
+void CrossbarGrid::attribute_program_stats() const {
+  if (!obs::metrics_enabled() || obs_label_.empty()) return;
+  // Freshly programmed tiles carry exactly this programming pass's stats —
+  // the per-tile write-verify cost the fault campaigns previously only saw
+  // as an aggregate.
+  auto& attr = obs::Attribution::instance();
+  for (std::size_t t = 0; t < arrays_.size(); ++t) {
+    const CrossbarStats& s = arrays_[t].stats();
+    const std::string path = obs_label_ + "/tile" + std::to_string(t);
+    attr.add(path, "verify_retries", static_cast<double>(s.verify_retries));
+    attr.add(path, "cells_remapped", static_cast<double>(s.cells_remapped));
+    attr.add(path, "faults_injected", static_cast<double>(s.faults_injected));
   }
 }
 
@@ -144,6 +161,7 @@ Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max,
           compute(std::vector<float>(xrow, xrow + total_rows_), x_max);
       std::copy(y.begin(), y.end(), out.data() + b * total_cols_);
     }
+    obs::snapshot_wall_tick();
     return out;
   }
 
@@ -157,6 +175,17 @@ Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max,
     sparse = sparsity::select_sparse(zf);
     sparsity::record_selection(zf, sparse);
   }
+
+  // Per-layer / per-tile attribution (obs::Attribution) is live only when a
+  // label was assigned; the per-call deltas below are merged serially, so
+  // the booked values are identical for any RERAMDL_THREADS.
+  const bool attributing = obs::metrics_enabled() && !obs_label_.empty();
+  if (attributing && zf >= 0.0)
+    obs::Attribution::instance().add(
+        obs_label_, sparse ? "sparse_calls" : "dense_calls", 1.0);
+  std::vector<CrossbarStats> tile_deltas(attributing ? arrays_.size() : 0);
+  std::vector<std::uint64_t> strip_skipped_total(attributing ? row_tiles_ : 0,
+                                                 0);
 
   // Row-block size per work item (matches the Crossbar kernel's W_eff reuse
   // window) and a cap on the partial-sum staging buffer; the batch is
@@ -252,13 +281,18 @@ Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max,
       }
     });
 
-    for (std::size_t w = 0; w < items; ++w)
+    for (std::size_t w = 0; w < items; ++w) {
       arrays_[w / nblocks].merge_stats(deltas[w]);
+      if (attributing) tile_deltas[w / nblocks] += deltas[w];
+    }
     // Each column tile of a strip skipped that strip's zero wordline
     // activations — the same per-tile crediting as input_spikes above.
     if (sparse)
-      for (std::size_t q = 0; q < qitems; ++q)
+      for (std::size_t q = 0; q < qitems; ++q) {
         zeros_skipped += strip_skipped[q] * col_tiles_;
+        if (attributing)
+          strip_skipped_total[q / nblocks] += strip_skipped[q];
+      }
 
     // Vertical add in row-tile-ascending order per output element — the
     // same fixed merge the per-vector path uses.
@@ -277,6 +311,34 @@ Tensor CrossbarGrid::compute_batch(const Tensor& rows, double x_max,
     }
   }
   if (sparse && zeros_skipped > 0) sparsity::count_rows_skipped(zeros_skipped);
+
+  if (attributing) {
+    // Book each tile's share of this batch: achieved vs roofline flops (the
+    // utilization numerator/denominator — edge tiles are partially filled),
+    // spike-driver dynamic energy (spike_count x per-spike cost, the same
+    // model as SpikeDriver::drive_energy_pj), and the zero-skipping
+    // opportunity (potential = wordline activations driven, skipped = the
+    // ones the sparse variant elided).
+    auto& attr = obs::Attribution::instance();
+    const double mm = static_cast<double>(m);
+    for (std::size_t t = 0; t < arrays_.size(); ++t) {
+      const std::string path = obs_label_ + "/tile" + std::to_string(t);
+      const double ar = static_cast<double>(arrays_[t].active_rows());
+      const double ac = static_cast<double>(arrays_[t].active_cols());
+      attr.add(path, "mvm_rows", mm);
+      attr.add(path, "flops", 2.0 * ar * ac * mm);
+      attr.add(path, "roofline_flops",
+               2.0 * static_cast<double>(config_.rows) *
+                   static_cast<double>(config_.data_cols()) * mm);
+      attr.add(path, "energy_pj",
+               static_cast<double>(tile_deltas[t].input_spikes) *
+                   SpikeDriver::kDefaultSpikePj);
+      attr.add(path, "zeros_potential", ar * mm);
+      attr.add(path, "zeros_skipped",
+               static_cast<double>(strip_skipped_total[t / col_tiles_]));
+    }
+  }
+  obs::snapshot_wall_tick();
   return out;
 }
 

@@ -4,6 +4,8 @@
 // that is "collected horizontally and summed vertically".
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/crossbar.hpp"
@@ -68,14 +70,28 @@ class CrossbarGrid {
 
   CrossbarStats aggregate_stats() const;
 
+  // Attribution label: the obs::Attribution path under which this grid's
+  // per-tile work is booked (each tile appends "/tile<t>"). Empty (default)
+  // disables per-tile attribution; the CrossbarExecutor labels its grids
+  // "host/layer<l>", and callers that simulated a chip placement can pass
+  // placement-aligned paths ("chip/bank<b>/layer<l>") so the host-side tile
+  // work lands inside the chip-sim tree.
+  void set_obs_label(std::string label) { obs_label_ = std::move(label); }
+  const std::string& obs_label() const { return obs_label_; }
+
   // Tile introspection (row-major [row_tile][col_tile]).
   const Crossbar& array(std::size_t t) const { return arrays_[t]; }
 
  private:
+  // Books programming-time per-tile stats (verify retries, remaps) under
+  // the attribution label; called at the end of program().
+  void attribute_program_stats() const;
+
   CrossbarConfig config_;
   std::size_t total_rows_ = 0, total_cols_ = 0;
   std::size_t row_tiles_ = 0, col_tiles_ = 0;
   std::vector<Crossbar> arrays_;  // row-major [row_tile][col_tile]
+  std::string obs_label_;
 };
 
 }  // namespace reramdl::circuit

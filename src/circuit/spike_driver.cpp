@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace reramdl::circuit {
 
@@ -32,7 +33,15 @@ double SpikeDriver::drive_energy_pj(const SpikeTrain& train,
                                     double pj_per_spike) const {
   RERAMDL_CHECK_EQ(train.bits.size(), input_bits_);
   RERAMDL_CHECK_GE(pj_per_spike, 0.0);
-  return static_cast<double>(train.spike_count()) * pj_per_spike;
+  const double pj = static_cast<double>(train.spike_count()) * pj_per_spike;
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& trains = reg.counter("spike.trains_driven");
+    static obs::Histogram& energy = reg.histogram("spike.drive_energy_pj");
+    trains.add();
+    energy.record(pj);
+  }
+  return pj;
 }
 
 double SpikeDriver::decode(const SpikeTrain& train) const {

@@ -85,6 +85,10 @@ void CrossbarExecutor::bind_and_program(nn::Sequential& net,
     const Tensor* w = weighted_layer_matrix(layer);
     if (w == nullptr) continue;
     auto grid = std::make_unique<circuit::CrossbarGrid>(xbar_config_);
+    // Default attribution label: weighted-layer ordinal, matching the order
+    // mapping::map_network lists the same layers in (so chip-aligned
+    // re-labels line up index-for-index).
+    grid->set_obs_label("host/layer" + std::to_string(grids_.size()));
     auto binding = std::make_unique<Binding>();
     binding->layer = &layer;
     binding->grid = grid.get();
@@ -125,6 +129,13 @@ std::size_t CrossbarExecutor::inject_at(std::uint64_t step) {
 
 void CrossbarExecutor::apply_drift(double factor) {
   for (auto& g : grids_) g->apply_drift(factor);
+}
+
+void CrossbarExecutor::set_attribution_paths(
+    const std::vector<std::string>& paths) {
+  RERAMDL_CHECK_EQ(paths.size(), grids_.size());
+  for (std::size_t l = 0; l < grids_.size(); ++l)
+    grids_[l]->set_obs_label(paths[l]);
 }
 
 void CrossbarExecutor::detach() {

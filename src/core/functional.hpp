@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "circuit/crossbar_grid.hpp"
@@ -51,6 +52,14 @@ class CrossbarExecutor {
 
   // Remove the hooks, restoring exact float execution.
   void detach();
+
+  // Attribution paths, one per weighted-layer grid (obs::Attribution; see
+  // CrossbarGrid::set_obs_label). Grids default to "host/layer<l>" where l
+  // is the weighted-layer ordinal — the same ordering the chip simulator's
+  // mapping uses — so callers that simulated a placement can re-label with
+  // chip-aligned paths ("chip/bank<b>/layer<l>") and the host-side tile
+  // work folds into the chip-sim tree.
+  void set_attribution_paths(const std::vector<std::string>& paths);
 
   std::size_t num_grids() const { return grids_.size(); }
   const circuit::CrossbarGrid& grid(std::size_t i) const;

@@ -88,6 +88,9 @@ EpochStats Trainer::train_epoch(const Tensor& images,
     acc_sum += accuracy(logits, yb_) * w;
     ++stats.batches;
     stats.samples += count;
+    // Each optimizer step is one simulated step for the time-series
+    // snapshots (no-op when metrics are off; never touches compute state).
+    obs::snapshot_tick();
   }
   stats.mean_loss = loss_sum / static_cast<double>(stats.samples);
   stats.accuracy = acc_sum / static_cast<double>(stats.samples);

@@ -1,12 +1,15 @@
 #include "obs/metrics.hpp"
 
+#include "obs/report.hpp"
+
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
-#include <iostream>
 
 #include "common/env.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/snapshot.hpp"
 
 namespace reramdl::obs {
 
@@ -54,6 +57,14 @@ MetricsState& metrics_state() {
   return *s;
 }
 
+// Anchor the RERAMDL_REPORT probe: report.cpp's own load-time probe is
+// dropped by the linker in binaries that never name a report symbol
+// (static-library TU selection), so the always-linked metrics TU references
+// it here. Runs at load time; report_state() may re-enter metrics_state()
+// via set_metrics_enabled(), which is safe at namespace scope (no
+// in-progress function-local static).
+[[maybe_unused]] const bool report_probe_anchor = (report_enabled(), true);
+
 }  // namespace
 
 std::uint64_t monotonic_ns() {
@@ -93,10 +104,19 @@ void write_metrics() {
   if (path.empty()) return;
   std::ofstream os(path);
   if (!os) {
-    std::cerr << "obs: cannot open metrics path " << path << "\n";
+    env::detail::warn_invalid("RERAMDL_METRICS", path,
+                              "cannot open for writing; metrics dump dropped");
     return;
   }
-  Registry::instance().write_json(os);
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "reramdl_metrics");
+  Registry::instance().write_sections(w);
+  w.key("timeseries");
+  Snapshotter::instance().write_json(w);
+  w.end_object();
+  w.finish();
 }
 
 // ---- Histogram --------------------------------------------------------------
@@ -143,6 +163,28 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const {
   return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const double lo = min();
+  const double hi = max();
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double b = static_cast<double>(bucket_count(i));
+    if (b == 0.0) continue;
+    if (cum + b >= target) {
+      const double lower = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      const double upper = bucket_upper_bound(i);
+      const double frac = std::clamp((target - cum) / b, 0.0, 1.0);
+      return std::clamp(lower + frac * (upper - lower), lo, hi);
+    }
+    cum += b;
+  }
+  return hi;  // only reachable via racing recorders mid-update
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -180,11 +222,15 @@ Histogram& Registry::histogram(const std::string& name) {
 }
 
 void Registry::write_json(JsonWriter& w) const {
-  std::lock_guard<std::mutex> lock(mu_);
   w.begin_object();
   w.kv("schema_version", 1);
   w.kv("kind", "reramdl_metrics");
+  write_sections(w);
+  w.end_object();
+}
 
+void Registry::write_sections(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
   w.key("counters");
   w.begin_object();
   for (const auto& [name, c] : counters_) w.kv(name, c->value());
@@ -206,6 +252,9 @@ void Registry::write_json(JsonWriter& w) const {
       w.kv("min", h->min());
       w.kv("max", h->max());
       w.kv("mean", h->mean());
+      w.kv("p50", h->quantile(0.50));
+      w.kv("p90", h->quantile(0.90));
+      w.kv("p99", h->quantile(0.99));
     }
     w.key("buckets");
     w.begin_array();
@@ -221,8 +270,18 @@ void Registry::write_json(JsonWriter& w) const {
     w.end_object();
   }
   w.end_object();
+}
 
-  w.end_object();
+void Registry::sample(std::vector<std::pair<std::string, double>>& counters,
+                      std::vector<std::pair<std::string, double>>& gauges) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters.clear();
+  counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    counters.emplace_back(name, static_cast<double>(c->value()));
+  gauges.clear();
+  gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g->value());
 }
 
 void Registry::write_json(std::ostream& os) const {

@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace reramdl::obs {
 
@@ -83,6 +85,13 @@ class Histogram {
   double max() const;  // NaN when empty
   std::uint64_t bucket_count(std::size_t i) const;
 
+  // Quantile estimate for q in [0, 1] (clamped): walks the cumulative bucket
+  // counts to rank q*count and interpolates linearly inside the landing
+  // bucket (mass assumed uniform within a bucket), then clamps to the exact
+  // observed [min, max] so single-bucket histograms report their true value.
+  // NaN when empty. p50/p90/p99 land in the JSON dump next to mean.
+  double quantile(double q) const;
+
   // Inclusive upper bound of bucket i: 1, 2, 4, ... (matches the Prometheus
   // "le" convention in the JSON dump).
   static double bucket_upper_bound(std::size_t i);
@@ -110,6 +119,15 @@ class Registry {
   // file written by write_metrics() adds schema framing around this.
   void write_json(JsonWriter& w) const;
   void write_json(std::ostream& os) const;
+
+  // The three sections alone ("counters"/"gauges"/"histograms" keys into the
+  // writer's current object) — shared by write_json and the run report.
+  void write_sections(JsonWriter& w) const;
+
+  // Point-in-time values of every counter and gauge in name order; the
+  // Snapshotter's sampling feed.
+  void sample(std::vector<std::pair<std::string, double>>& counters,
+              std::vector<std::pair<std::string, double>>& gauges) const;
 
   // Zero every instrument; existing references stay valid.
   void reset();

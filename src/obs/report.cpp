@@ -1,0 +1,100 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "obs/attribution.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace reramdl::obs {
+
+namespace {
+
+struct ReportState {
+  std::mutex mu;  // guards path
+  std::string path;
+};
+
+ReportState& report_state() {
+  // Leaked: written from an atexit hook.
+  static ReportState* s = [] {
+    auto* st = new ReportState;
+    const std::string path = env::env_path("RERAMDL_REPORT");
+    if (!path.empty()) {
+      st->path = path;
+      // The report is assembled from the metric instruments, so a report
+      // path implies collection even without RERAMDL_METRICS.
+      set_metrics_enabled(true);
+      std::atexit(write_run_report);
+    }
+    return st;
+  }();
+  return *s;
+}
+
+// Load-time probe: instrumentation sites gate on metrics_enabled(), which
+// only consults RERAMDL_METRICS — a report-only run must flip the enable
+// switch before the first site asks.
+[[maybe_unused]] const bool report_env_probed = (report_state(), true);
+
+}  // namespace
+
+bool report_enabled() { return !report_path().empty(); }
+
+void set_report_path(std::string path) {
+  auto& s = report_state();
+  const bool enable = !path.empty();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.path = std::move(path);
+  }
+  if (enable) set_metrics_enabled(true);
+}
+
+std::string report_path() {
+  auto& s = report_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void write_run_report() {
+  const std::string path = report_path();
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    env::detail::warn_invalid("RERAMDL_REPORT", path,
+                              "cannot open for writing; run report dropped");
+    return;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "reramdl_run_report");
+
+  // Top-level totals are the attribution root rollups — the reconciliation
+  // anchor the validator recomputes from the emitted tree.
+  Attribution& attr = Attribution::instance();
+  w.key("totals");
+  w.begin_object();
+  w.kv("latency_ns", attr.total("", "latency_ns"));
+  w.kv("energy_pj", attr.total("", "energy_pj"));
+  w.kv("flops", attr.total("", "flops"));
+  w.end_object();
+
+  w.key("attribution");
+  attr.write_json(w);
+
+  Registry::instance().write_sections(w);
+
+  w.key("timeseries");
+  Snapshotter::instance().write_json(w);
+
+  w.end_object();
+  w.finish();
+}
+
+}  // namespace reramdl::obs

@@ -1,0 +1,30 @@
+// Run report: RERAMDL_REPORT=<path> writes a machine-readable
+// run_report.json at process exit — the one-stop artifact combining the
+// attribution tree (with rollup totals), every registry instrument
+// (histograms with p50/p90/p99), and the time-series snapshots.
+// tools/report.py renders it as a human summary table and diffs two reports
+// for regression triage; tools/validate_obs_json.py checks the schema and
+// the self-plus-children reconciliation invariant in CI.
+//
+// Setting RERAMDL_REPORT also enables metric collection (the report is
+// assembled from the same instruments), without requiring RERAMDL_METRICS.
+#pragma once
+
+#include <string>
+
+namespace reramdl::obs {
+
+// True when a report path is configured.
+bool report_enabled();
+
+// Non-empty path enables metric collection and is the write_run_report()
+// target; empty disables the report.
+void set_report_path(std::string path);
+std::string report_path();
+
+// Write the report to report_path() (no-op when empty). Installed as an
+// atexit hook when RERAMDL_REPORT is set; tests and benches call it
+// directly.
+void write_run_report();
+
+}  // namespace reramdl::obs

@@ -1,0 +1,138 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace reramdl::obs {
+
+Snapshotter::Snapshotter()
+    : capacity_(static_cast<std::size_t>(
+          env::env_int("RERAMDL_SNAPSHOT_CAP", 256, 4, 1 << 20))),
+      wall_interval_ns_(static_cast<std::uint64_t>(env::env_int(
+                            "RERAMDL_SNAPSHOT_WALL_MS", 50, 1, 600000)) *
+                        1000000ull) {}
+
+Snapshotter& Snapshotter::instance() {
+  // Leaked like the rest of obs state: sampled from atexit report hooks.
+  static Snapshotter* s = new Snapshotter;
+  return *s;
+}
+
+void Snapshotter::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_activity_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  tick_locked();
+}
+
+void Snapshotter::tick_locked() {
+  if (ticks_ % stride_ == 0) {
+    Snapshot s;
+    s.tick = ticks_;
+    s.wall_ns = monotonic_ns();
+    Registry::instance().sample(s.counters, s.gauges);
+    samples_.push_back(std::move(s));
+    if (samples_.size() >= capacity_) {
+      // Ring full: drop every other sample and double the stride. Retained
+      // ticks stay multiples of the new stride, so spacing remains uniform.
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2) {
+        if (keep != i) samples_[keep] = std::move(samples_[i]);  // no self-move
+        ++keep;
+      }
+      samples_.resize(keep);
+      stride_ *= 2;
+    }
+  }
+  ++ticks_;
+}
+
+void Snapshotter::wall_tick() {
+  const std::uint64_t now = monotonic_ns();
+  std::uint64_t last = last_activity_ns_.load(std::memory_order_relaxed);
+  if (now - last < wall_interval_ns_) return;
+  // One winner per interval; losers (and racing step ticks) skip.
+  if (!last_activity_ns_.compare_exchange_strong(last, now,
+                                                 std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked();
+}
+
+std::size_t Snapshotter::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::uint64_t Snapshotter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+std::uint64_t Snapshotter::stride() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stride_;
+}
+
+std::size_t Snapshotter::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Snapshotter::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(cap, 4);
+}
+
+std::vector<Snapshot> Snapshotter::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void Snapshotter::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.kv("capacity", static_cast<std::uint64_t>(capacity_));
+  w.kv("stride", stride_);
+  w.kv("ticks", ticks_);
+  w.key("samples");
+  w.begin_array();
+  for (const Snapshot& s : samples_) {
+    w.begin_object();
+    w.kv("tick", s.tick);
+    w.kv("wall_ns", s.wall_ns);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, v] : s.counters) w.kv(name, v);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, v] : s.gauges) w.kv(name, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Snapshotter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  ticks_ = 0;
+  stride_ = 1;
+  last_activity_ns_.store(0, std::memory_order_relaxed);
+}
+
+void snapshot_tick() {
+  if (!metrics_enabled()) return;
+  Snapshotter::instance().tick();
+}
+
+void snapshot_wall_tick() {
+  if (!metrics_enabled()) return;
+  Snapshotter::instance().wall_tick();
+}
+
+}  // namespace reramdl::obs

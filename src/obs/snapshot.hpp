@@ -1,0 +1,84 @@
+// Time-series snapshots: a fixed-capacity downsampling ring that samples
+// every counter and gauge in the Registry at "tick" boundaries, giving the
+// end-of-run metrics dump a time dimension ("timeseries" section).
+//
+// Tick sources: the simulated step drivers call obs::snapshot_tick() at
+// deterministic points (ChipSimulator after each run, the Trainer after each
+// batch); hot paths without a step notion call obs::snapshot_wall_tick(),
+// which samples at most once per RERAMDL_SNAPSHOT_WALL_MS of wall time and
+// is suppressed while step ticks are flowing. Both are no-ops (one relaxed
+// atomic load) when metrics are disabled, and neither reads or writes any
+// compute state, so results stay bit-identical for any RERAMDL_THREADS.
+//
+// Downsampling: the ring keeps at most RERAMDL_SNAPSHOT_CAP samples
+// (default 256). When it fills, every other retained sample is dropped and
+// the sampling stride doubles, so an arbitrarily long run is always covered
+// end-to-end by <= capacity samples at uniform tick spacing — the standard
+// stride-doubling reservoir for "plot the whole run" telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reramdl::obs {
+
+class JsonWriter;
+
+// One sampled point: every counter/gauge value at a tick boundary.
+struct Snapshot {
+  std::uint64_t tick = 0;     // step index at sample time
+  std::uint64_t wall_ns = 0;  // monotonic_ns() at sample time
+  std::vector<std::pair<std::string, double>> counters;  // name order
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+class Snapshotter {
+ public:
+  static Snapshotter& instance();
+
+  // Record a step tick: samples the registry when the tick index lands on
+  // the current stride, then advances the index (and halves the ring when
+  // full). Callers gate on metrics_enabled() — or use the free functions.
+  void tick();
+  // Wall-clock fallback: forwards to tick() at most once per wall interval,
+  // and never while step ticks arrived within the same interval.
+  void wall_tick();
+
+  std::size_t size() const;
+  std::uint64_t ticks() const;
+  std::uint64_t stride() const;
+  std::size_t capacity() const;
+  void set_capacity(std::size_t cap);  // also RERAMDL_SNAPSHOT_CAP; min 4
+
+  // Copy of the retained samples, oldest first (tests / tools).
+  std::vector<Snapshot> samples() const;
+
+  // {"capacity": N, "stride": S, "ticks": T, "samples": [...]}.
+  void write_json(JsonWriter& w) const;
+
+  void reset();  // drops samples and rewinds tick/stride; keeps capacity
+
+ private:
+  Snapshotter();
+
+  void tick_locked();
+
+  mutable std::mutex mu_;
+  std::vector<Snapshot> samples_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t stride_ = 1;
+  std::size_t capacity_;
+  std::uint64_t wall_interval_ns_;
+  std::atomic<std::uint64_t> last_activity_ns_{0};
+};
+
+// Instrumentation API: both are single-relaxed-load no-ops when metrics are
+// disabled.
+void snapshot_tick();
+void snapshot_wall_tick();
+
+}  // namespace reramdl::obs

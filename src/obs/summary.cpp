@@ -1,0 +1,61 @@
+#include "obs/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_writer.hpp"
+
+namespace reramdl::obs {
+
+void SampleSummary::add(double v) {
+  samples_.push_back(v);
+  sorted_.clear();
+  sum_ += v;
+}
+
+const std::vector<double>& SampleSummary::sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return sorted_;
+}
+
+double SampleSummary::min() const {
+  return samples_.empty() ? std::nan("") : sorted().front();
+}
+
+double SampleSummary::max() const {
+  return samples_.empty() ? std::nan("") : sorted().back();
+}
+
+double SampleSummary::mean() const {
+  return samples_.empty() ? std::nan("")
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleSummary::quantile(double q) const {
+  if (samples_.empty()) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<double>& s = sorted();
+  // Nearest rank: the smallest sample with cumulative frequency >= q.
+  const double rank = std::ceil(q * static_cast<double>(s.size()));
+  const std::size_t idx =
+      rank < 1.0 ? 0 : std::min(static_cast<std::size_t>(rank) - 1,
+                                s.size() - 1);
+  return s[idx];
+}
+
+void SampleSummary::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", static_cast<std::uint64_t>(count()));
+  w.kv("min", min());
+  w.kv("max", max());
+  w.kv("mean", mean());
+  w.kv("p50", quantile(0.50));
+  w.kv("p90", quantile(0.90));
+  w.kv("p99", quantile(0.99));
+  w.end_object();
+}
+
+}  // namespace reramdl::obs

@@ -1,0 +1,41 @@
+// Exact summary statistics over a retained sample set — the shared helper
+// behind the benches' per-kernel timing summaries. Histograms (metrics.hpp)
+// approximate quantiles over log buckets because hot paths cannot afford to
+// retain samples; benches keep only a handful of repetitions, so this helper
+// stores them all and reports exact nearest-rank order statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reramdl::obs {
+
+class JsonWriter;
+
+class SampleSummary {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;   // NaN when empty
+  double max() const;   // NaN when empty
+  double mean() const;  // NaN when empty
+
+  // Exact nearest-rank quantile over the retained samples; q clamps to
+  // [0, 1]. NaN when empty.
+  double quantile(double q) const;
+
+  // {"count": ..., "min": ..., "max": ..., "mean": ...,
+  //  "p50": ..., "p90": ..., "p99": ...}
+  void write_json(JsonWriter& w) const;
+
+ private:
+  const std::vector<double>& sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // rebuilt lazily after add()
+  double sum_ = 0.0;
+};
+
+}  // namespace reramdl::obs

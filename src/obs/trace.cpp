@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <fstream>
-#include <iostream>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -204,7 +203,8 @@ void write_trace() {
 
   std::ofstream os(path);
   if (!os) {
-    std::cerr << "obs: cannot open trace path " << path << "\n";
+    env::detail::warn_invalid("RERAMDL_TRACE", path,
+                              "cannot open for writing; trace dropped");
     return;
   }
 

@@ -33,6 +33,10 @@ void count_cache(bool hit) {
   static obs::Counter& hits = reg.counter("plan.cache_hits");
   static obs::Counter& misses = reg.counter("plan.cache_misses");
   (hit ? hits : misses).add();
+  // Cache decisions also land in the attribution tree (layers consult the
+  // cache from the serial forward path, so this stays deterministic).
+  obs::Attribution::instance().add("host/plan_cache", hit ? "hits" : "misses",
+                                   1.0);
 }
 
 }  // namespace plan

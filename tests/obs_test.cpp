@@ -204,6 +204,8 @@ struct ObsGuard {
     obs::set_metrics_path("");
     obs::reset_trace();
     obs::Registry::instance().reset();
+    obs::Attribution::instance().reset();
+    obs::Snapshotter::instance().reset();
     parallel::set_thread_count(0);
   }
 };
@@ -367,6 +369,276 @@ TEST(Metrics, ConcurrentUpdatesFromThreadPool) {
   for (int s = 0; s < 7; ++s)
     shard_total += reg.counter("conc.shard" + std::to_string(s)).value();
   EXPECT_EQ(shard_total, kIters);
+}
+
+// ---- Histogram quantiles ----------------------------------------------------
+
+TEST(HistogramQuantile, EmptyIsNaN) {
+  obs::Histogram h;
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(HistogramQuantile, SingleValueClampsToObserved) {
+  // One occupied bucket: interpolation would report the bucket midpoint, but
+  // the clamp to the observed [min, max] recovers the true value.
+  obs::Histogram h;
+  h.record(5.0);
+  h.record(5.0);
+  h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+}
+
+TEST(HistogramQuantile, WalksCumulativeBuckets) {
+  // 100 values in bucket [0,1) and 100 in bucket [2,4): q=0.25 stays in the
+  // first bucket, q=0.75 lands at the midpoint of the second.
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(0.5);
+  for (int i = 0; i < 100; ++i) h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);  // interp 0.5 == true value
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.0);  // 2 + 0.5 * (4 - 2)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);   // clamps to max
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBucket) {
+  // Both samples share bucket [512, 1024); the median interpolates halfway
+  // through the bucket (mass assumed uniform) inside the observed range.
+  obs::Histogram h;
+  h.record(600.0);
+  h.record(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 768.0);
+}
+
+TEST(HistogramQuantile, PercentilesAreOrderedAndBounded) {
+  obs::Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform(0.1, 5000.0));
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+}
+
+// ---- SampleSummary ----------------------------------------------------------
+
+TEST(SampleSummaryTest, EmptyIsNaN) {
+  obs::SampleSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+}
+
+TEST(SampleSummaryTest, ExactNearestRankQuantiles) {
+  obs::SampleSummary s;
+  for (int v = 10; v >= 1; --v) s.add(v);  // insertion order is irrelevant
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);   // rank ceil(5) -> 5th sample
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 10.0);  // rank ceil(9.9) -> 10th
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(SampleSummaryTest, JsonCarriesPercentiles) {
+  obs::SampleSummary s;
+  s.add(2.0);
+  s.add(8.0);
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  s.write_json(w);
+  w.finish();
+  JsonParser p(os.str());
+  const JsonValue v = p.parse();
+  EXPECT_DOUBLE_EQ(v.at("count").num, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("min").num, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("mean").num, 5.0);
+  EXPECT_DOUBLE_EQ(v.at("p50").num, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("p99").num, 8.0);
+}
+
+// ---- Snapshotter ------------------------------------------------------------
+
+TEST(Snapshotter, StrideDoublingCoversWholeRun) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  auto& snaps = obs::Snapshotter::instance();
+  snaps.reset();
+  snaps.set_capacity(8);
+
+  constexpr std::uint64_t kTicks = 100;
+  obs::Counter& steps = reg.counter("snap.steps");
+  for (std::uint64_t t = 0; t < kTicks; ++t) {
+    steps.add();
+    reg.gauge("snap.level").set(static_cast<double>(t));
+    obs::snapshot_tick();
+  }
+
+  EXPECT_EQ(snaps.ticks(), kTicks);
+  EXPECT_LE(snaps.size(), snaps.capacity());
+  EXPECT_GT(snaps.size(), 0u);
+  // 100 ticks into 8 slots forces stride doubling: 1 -> 2 -> 4 -> 16...
+  EXPECT_GE(snaps.stride(), kTicks / 8);
+
+  const auto samples = snaps.samples();
+  std::uint64_t prev_tick = 0;
+  double prev_count = -1.0;
+  bool first = true;
+  for (const obs::Snapshot& s : samples) {
+    EXPECT_EQ(s.tick % snaps.stride(), 0u) << "off-stride sample retained";
+    if (!first) {
+      EXPECT_GT(s.tick, prev_tick);
+    }
+    prev_tick = s.tick;
+    first = false;
+    double count = -1.0, level = -1.0;
+    for (const auto& [name, v] : s.counters)
+      if (name == "snap.steps") count = v;
+    for (const auto& [name, v] : s.gauges)
+      if (name == "snap.level") level = v;
+    // Sampled at tick boundary t: the counter has advanced t+1 times.
+    ASSERT_GE(count, 0.0);
+    EXPECT_DOUBLE_EQ(count, static_cast<double>(s.tick + 1));
+    EXPECT_DOUBLE_EQ(level, static_cast<double>(s.tick));
+    EXPECT_GT(count, prev_count);  // counters are monotone across samples
+    prev_count = count;
+  }
+  // End-to-end coverage: the newest retained sample is within one stride of
+  // the final tick.
+  EXPECT_GE(samples.back().tick + snaps.stride(), kTicks - 1);
+
+  snaps.set_capacity(256);  // restore the default for later tests
+}
+
+TEST(Snapshotter, DisabledTickIsANoOp) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(false);
+  auto& snaps = obs::Snapshotter::instance();
+  snaps.reset();
+  obs::snapshot_tick();
+  obs::snapshot_wall_tick();
+  EXPECT_EQ(snaps.size(), 0u);
+  EXPECT_EQ(snaps.ticks(), 0u);
+}
+
+// ---- Attribution ------------------------------------------------------------
+
+TEST(Attribution, AddAndRollupTotals) {
+  ObsGuard guard;
+  auto& attr = obs::Attribution::instance();
+  attr.reset();
+  EXPECT_TRUE(attr.empty());
+
+  attr.add("chip/bank0/layer1", "latency_ns", 5.0);
+  attr.add("chip/bank0", "latency_ns", 2.0);
+  attr.add("chip", "energy_pj", 7.0);
+
+  EXPECT_FALSE(attr.empty());
+  EXPECT_DOUBLE_EQ(attr.total("", "latency_ns"), 7.0);
+  EXPECT_DOUBLE_EQ(attr.total("chip", "latency_ns"), 7.0);
+  EXPECT_DOUBLE_EQ(attr.total("chip/bank0", "latency_ns"), 7.0);
+  EXPECT_DOUBLE_EQ(attr.total("chip/bank0/layer1", "latency_ns"), 5.0);
+  EXPECT_DOUBLE_EQ(attr.total("", "energy_pj"), 7.0);
+  EXPECT_DOUBLE_EQ(attr.total("chip/bank0", "energy_pj"), 0.0);
+  EXPECT_DOUBLE_EQ(attr.total("nonexistent", "latency_ns"), 0.0);
+
+  attr.reset();
+  EXPECT_TRUE(attr.empty());
+  EXPECT_DOUBLE_EQ(attr.total("", "latency_ns"), 0.0);
+}
+
+TEST(Attribution, JsonRollupsReconcileAndDeriveRatios) {
+  ObsGuard guard;
+  auto& attr = obs::Attribution::instance();
+  attr.reset();
+  attr.add("chip/bank0", "latency_ns", 10.0);
+  attr.add("chip/bank0/tile0", "latency_ns", 4.0);
+  attr.add("chip/bank0/tile0", "flops", 50.0);
+  attr.add("chip/bank0/tile0", "roofline_flops", 100.0);
+  attr.add("chip/bank0/tile0", "zeros_skipped", 30.0);
+  attr.add("chip/bank0/tile0", "zeros_potential", 40.0);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  attr.write_json(w);
+  w.finish();
+  JsonParser p(os.str());
+  const JsonValue root = p.parse();
+
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(root.arr.size(), 1u);
+  const JsonValue& chip = root.arr[0];
+  EXPECT_EQ(chip.at("name").str, "chip");
+  // Rollups: total = self + children totals at every level.
+  EXPECT_DOUBLE_EQ(chip.at("total").at("latency_ns").num, 14.0);
+  EXPECT_TRUE(chip.at("self").obj.empty());
+  const JsonValue& bank = chip.at("children").arr[0];
+  EXPECT_DOUBLE_EQ(bank.at("self").at("latency_ns").num, 10.0);
+  EXPECT_DOUBLE_EQ(bank.at("total").at("latency_ns").num, 14.0);
+  const JsonValue& tile = bank.at("children").arr[0];
+  EXPECT_DOUBLE_EQ(tile.at("total").at("latency_ns").num, 4.0);
+  // Derived ratios appear wherever the denominator rolls up positive.
+  EXPECT_DOUBLE_EQ(tile.at("utilization").num, 0.5);
+  EXPECT_DOUBLE_EQ(tile.at("sparsity_effectiveness").num, 0.75);
+  EXPECT_DOUBLE_EQ(chip.at("utilization").num, 0.5);
+}
+
+// Acceptance: attribution (values AND JSON bytes) plus the computed outputs
+// are identical for any RERAMDL_THREADS. Runs an attributed batched MVM at
+// 1, 4, and 8 threads; CI repeats this binary under TSan.
+TEST(Attribution, DeterministicAcrossThreadCounts) {
+  ObsGuard guard;
+
+  Rng wrng(41);
+  const Tensor weights = Tensor::uniform(Shape{200, 96}, wrng, -0.5f, 0.5f);
+  Tensor batch = Tensor::uniform(Shape{8, 200}, wrng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < batch.numel(); i += 3)
+    batch.data()[i] = 0.0f;  // enough zeros to engage the sparse selector
+
+  std::string ref_json;
+  std::vector<float> ref_out;
+  for (const std::size_t threads : {1, 4, 8}) {
+    parallel::set_thread_count(threads);
+    obs::Registry::instance().reset();
+    auto& attr = obs::Attribution::instance();
+    attr.reset();
+    obs::set_metrics_enabled(true);
+
+    circuit::CrossbarConfig cfg;
+    circuit::CrossbarGrid grid(cfg);
+    grid.set_obs_label("chip/bank0/layer0");
+    grid.program(weights, 1.0);
+    const Tensor y = grid.compute_batch(batch, 1.0);
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    attr.write_json(w);
+    w.finish();
+    obs::set_metrics_enabled(false);
+
+    EXPECT_GT(attr.total("chip/bank0/layer0", "flops"), 0.0);
+    if (ref_json.empty()) {
+      ref_json = os.str();
+      ref_out.assign(y.data(), y.data() + y.numel());
+    } else {
+      EXPECT_EQ(os.str(), ref_json)
+          << "attribution differs at " << threads << " threads";
+      ASSERT_EQ(y.numel(), ref_out.size());
+      for (std::size_t i = 0; i < ref_out.size(); ++i)
+        ASSERT_EQ(y.data()[i], ref_out[i])
+            << "output diverged at " << threads << " threads, element " << i;
+    }
+  }
 }
 
 // ---- RunningStat / EnergyMeter satellites ----------------------------------

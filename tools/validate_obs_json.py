@@ -12,7 +12,16 @@ Each FILE is classified by its content and validated accordingly:
     required-span check for traces from binaries that don't exercise every
     scope (e.g. examples that never touch the chip simulator).
   - Metrics dumps ("kind" == "reramdl_metrics"): counters are non-negative
-    integers, gauges numbers, histograms carry consistent count/sum/buckets.
+    integers, gauges numbers, histograms carry consistent count/sum/buckets
+    plus ordered p50/p90/p99 percentiles, and the embedded "timeseries"
+    section holds tick-ordered snapshots with monotone counters.
+  - Run reports ("kind" == "reramdl_run_report"): the attribution tree must
+    reconcile — every node's emitted total equals self + the sum of its
+    children's totals, and the top-level totals equal the root rollups, both
+    to 1e-6 relative — with a derived-ratio cross-check, percentile-bearing
+    histograms, and a non-empty timeseries.
+  - Run-report benches ("bench" == "run_report"): totals/timeseries summary
+    plus the bench's self-check booleans, all of which must be true.
   - Fault campaigns ("bench" == "fault_campaign"): modes x rates accuracy
     grid, transient-injection section, and the campaign contract checks
     (fault-free bit-identity, thread reproducibility, recovery target).
@@ -74,8 +83,18 @@ def validate_trace(path, doc, structural_only=False):
           f"{len(span_names)} span names, {len(process_names)} processes)")
 
 
-def validate_metrics(path, doc):
-    require(doc.get("schema_version") == 1, path, "bad schema_version")
+def check_percentiles(path, name, h):
+    """Histogram percentile block: present and ordered whenever non-empty."""
+    if h.get("count", 0) <= 0:
+        return
+    for key in ("p50", "p90", "p99"):
+        require(is_num(h.get(key)), path, f"hist {name} missing {key}")
+    require(h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"], path,
+            f"hist {name} percentiles out of order")
+
+
+def check_instruments(path, doc):
+    """Shared counters/gauges/histograms sections (metrics dump + report)."""
     for name, v in doc["counters"].items():
         require(isinstance(v, int) and v >= 0, path, f"counter {name} bad")
     for name, v in doc["gauges"].items():
@@ -93,8 +112,156 @@ def validate_metrics(path, doc):
         if h["count"] > 0:
             require(h["min"] <= h["mean"] <= h["max"], path,
                     f"hist {name} min/mean/max inconsistent")
+        check_percentiles(path, name, h)
+
+
+def check_timeseries(path, ts, require_nonempty=False):
+    require(isinstance(ts, dict), path, "timeseries not an object")
+    for key in ("capacity", "stride", "ticks"):
+        require(isinstance(ts.get(key), int) and ts[key] >= 0, path,
+                f"timeseries bad {key}")
+    require(ts["stride"] >= 1, path, "timeseries stride < 1")
+    samples = ts.get("samples")
+    require(isinstance(samples, list), path, "timeseries missing samples")
+    require(len(samples) <= ts["capacity"], path,
+            "timeseries samples exceed capacity")
+    if require_nonempty:
+        require(samples, path, "timeseries empty")
+    prev_tick = -1
+    prev_counters = {}
+    for i, s in enumerate(samples):
+        where = f"timeseries samples[{i}]"
+        require(isinstance(s.get("tick"), int) and s["tick"] > prev_tick,
+                path, f"{where} ticks not increasing")
+        require(s["tick"] % ts["stride"] == 0, path,
+                f"{where} tick off the retained stride")
+        prev_tick = s["tick"]
+        require(is_num(s.get("wall_ns")), path, f"{where} bad wall_ns")
+        for section in ("counters", "gauges"):
+            vals = s.get(section)
+            require(isinstance(vals, dict), path, f"{where} bad {section}")
+            require(all(is_num(v) for v in vals.values()), path,
+                    f"{where} non-numeric {section} value")
+        # Counters only move up: later samples dominate earlier ones.
+        for name, v in s["counters"].items():
+            require(v >= prev_counters.get(name, 0), path,
+                    f"{where} counter {name} decreased")
+            prev_counters[name] = v
+
+
+def validate_metrics(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    check_instruments(path, doc)
+    if "timeseries" in doc:
+        check_timeseries(path, doc["timeseries"])
     print(f"{path}: metrics ok ({len(doc['counters'])} counters, "
-          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)")
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms, "
+          f"{len(doc.get('timeseries', {}).get('samples', []))} snapshots)")
+
+
+# Reconciliation tolerance: write-time rollups are double sums over the same
+# addends the validator re-adds, so only association error separates them.
+REL_TOL = 1e-6
+
+
+def close(a, b):
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), 1.0)
+
+
+def check_attribution_node(path, node, where):
+    require(isinstance(node.get("name"), str), path, f"{where} missing name")
+    where = f"{where}/{node['name']}"
+    for section in ("self", "total"):
+        vals = node.get(section)
+        require(isinstance(vals, dict), path, f"{where} bad {section}")
+        require(all(is_num(v) for v in vals.values()), path,
+                f"{where} non-numeric {section} value")
+    children = node.get("children")
+    require(isinstance(children, list), path, f"{where} bad children")
+    # Reconciliation: total == self + sum(children totals), key by key.
+    recomputed = dict(node["self"])
+    for child in children:
+        for k, v in check_attribution_node(path, child, where).items():
+            recomputed[k] = recomputed.get(k, 0.0) + v
+    require(set(recomputed) == set(node["total"]), path,
+            f"{where} total keys differ from self+children")
+    for k, v in recomputed.items():
+        require(close(v, node["total"][k]), path,
+                f"{where} total[{k}] {node['total'][k]} != "
+                f"self+children {v}")
+    # Derived ratios are re-derivable from the emitted totals.
+    if "utilization" in node:
+        require(node["total"].get("roofline_flops", 0) > 0, path,
+                f"{where} utilization without roofline_flops")
+        require(close(node["utilization"] * node["total"]["roofline_flops"],
+                      node["total"].get("flops", 0.0)), path,
+                f"{where} utilization inconsistent")
+    if "sparsity_effectiveness" in node:
+        require(node["total"].get("zeros_potential", 0) > 0, path,
+                f"{where} sparsity_effectiveness without zeros_potential")
+        require(close(node["sparsity_effectiveness"] *
+                      node["total"]["zeros_potential"],
+                      node["total"].get("zeros_skipped", 0.0)), path,
+                f"{where} sparsity_effectiveness inconsistent")
+    return node["total"]
+
+
+def validate_run_report(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    totals = doc.get("totals")
+    require(isinstance(totals, dict), path, "missing totals")
+    for key in ("latency_ns", "energy_pj", "flops"):
+        require(is_num(totals.get(key)), path, f"bad totals.{key}")
+    tree = doc.get("attribution")
+    require(isinstance(tree, list) and tree, path, "attribution empty")
+    root = {}
+    for top in tree:
+        for k, v in check_attribution_node(path, top, "").items():
+            root[k] = root.get(k, 0.0) + v
+    # Top-level totals are the whole-tree rollups.
+    for key in ("latency_ns", "energy_pj", "flops"):
+        require(close(root.get(key, 0.0), totals[key]), path,
+                f"totals.{key} {totals[key]} != tree rollup "
+                f"{root.get(key, 0.0)}")
+    check_instruments(path, doc)
+    check_timeseries(path, doc["timeseries"], require_nonempty=True)
+    print(f"{path}: run report ok ({len(tree)} top-level nodes, "
+          f"latency {totals['latency_ns']:.0f} ns reconciled, "
+          f"{len(doc['timeseries']['samples'])} snapshots)")
+
+
+def validate_run_report_bench(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("workload"), str), path, "missing workload")
+    totals = doc.get("totals")
+    require(isinstance(totals, dict), path, "missing totals")
+    for key in ("latency_ns", "energy_pj", "flops"):
+        require(is_num(totals.get(key)) and totals[key] > 0, path,
+                f"bad totals.{key}")
+    for key in ("accuracy_faulty", "accuracy_post_transient"):
+        require(is_num(doc.get(key)) and 0.0 <= doc[key] <= 1.0, path,
+                f"bad {key}")
+    ts = doc.get("timeseries")
+    require(isinstance(ts, dict), path, "missing timeseries summary")
+    require(isinstance(ts.get("samples"), int) and ts["samples"] > 0, path,
+            "empty timeseries")
+    checks = doc.get("checks")
+    require(isinstance(checks, dict) and checks, path, "missing checks")
+    require(all(v is True for v in checks.values()), path,
+            "report contract violated: " + ", ".join(
+                k for k, v in checks.items() if v is not True))
+    print(f"{path}: run_report bench ok ({len(checks)} checks, "
+          f"{ts['samples']} snapshots)")
+
+
+def check_sample_summary(path, where, s):
+    require(isinstance(s, dict), path, f"{where} not an object")
+    require(isinstance(s.get("count"), int) and s["count"] > 0, path,
+            f"{where} bad count")
+    for key in ("min", "max", "mean", "p50", "p90", "p99"):
+        require(is_num(s.get(key)), path, f"{where} missing {key}")
+    require(s["min"] <= s["p50"] <= s["p90"] <= s["p99"] <= s["max"], path,
+            f"{where} percentiles out of order")
 
 
 def validate_fault_campaign(path, doc):
@@ -180,6 +347,13 @@ def validate_sparse_mvm(path, doc):
                     f"sweep {shape} bad {key}")
             require(all(is_num(x) and x >= 0 for x in arr), path,
                     f"sweep {shape} non-numeric {key}")
+        for key in ("dense_summary", "sparse_summary"):
+            arr = s.get(key)
+            require(isinstance(arr, list) and len(arr) == len(threads), path,
+                    f"sweep {shape} bad {key}")
+            for t, summary in enumerate(arr):
+                check_sample_summary(path, f"sweep {shape} {key}[{t}]",
+                                     summary)
     for key in ("accept_sparsity", "accept_batch", "best_speedup_75_b32_8t"):
         require(is_num(doc.get(key)), path, f"bad {key}")
     require(isinstance(doc.get("best_shape_75_b32_8t"), str), path,
@@ -210,6 +384,16 @@ def validate_bench(path, doc):
                     path, f"kernel {k.get('name')} bad {key}")
             require(all(is_num(x) and x >= 0 for x in arr), path,
                     f"kernel {k.get('name')} non-numeric {key}")
+        # Benches migrated onto obs::SampleSummary also emit a per-thread
+        # percentile summary next to the best-of-reps arrays.
+        if "step_ms_summary" in k:
+            arr = k["step_ms_summary"]
+            require(isinstance(arr, list) and len(arr) == len(threads),
+                    path, f"kernel {k.get('name')} bad step_ms_summary")
+            for t, summary in enumerate(arr):
+                check_sample_summary(
+                    path, f"kernel {k.get('name')} step_ms_summary[{t}]",
+                    summary)
     print(f"{path}: bench ok ({len(kernels)} kernels)")
 
 
@@ -228,6 +412,10 @@ def main(argv):
             validate_trace(path, doc, structural_only)
         elif doc.get("kind") == "reramdl_metrics":
             validate_metrics(path, doc)
+        elif doc.get("kind") == "reramdl_run_report":
+            validate_run_report(path, doc)
+        elif doc.get("bench") == "run_report":
+            validate_run_report_bench(path, doc)
         elif doc.get("bench") == "fault_campaign":
             validate_fault_campaign(path, doc)
         elif doc.get("bench") == "sparse_mvm":
