@@ -95,7 +95,11 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
       cached_batch_ = n;
       used_plan_ = true;
     }
-    return detail::rows_to_nchw(*rows, n, out_c_, geom_.out_h(), geom_.out_w());
+    Tensor y =
+        detail::rows_to_nchw(*rows, n, out_c_, geom_.out_h(), geom_.out_w());
+    // Inference passes end here; training keeps cols live for backward.
+    if (!train) ws_.trim();
+    return y;
   }
   Tensor cols = im2col(x, geom_);
   Tensor rows = matmul_fn_ ? matmul_fn_(cols, w_) : ops::matmul(cols, w_);
@@ -128,6 +132,7 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
     ops::matmul_transposed_b_packed_into(grows, wt, gcols);
     Tensor gx(Shape{n, geom_.in_c, geom_.in_h, geom_.in_w});
     col2im_plan_.run(gcols.data(), n, gx.data());
+    ws_.trim();  // pass boundary: every slot's contents are dead now
     return gx;
   }
   Tensor grows = detail::nchw_to_rows(grad_out);

@@ -34,7 +34,9 @@ Tensor Dense::backward(const Tensor& grad_out) {
     ops::column_sums_acc(grad_out, gb_);
     Tensor& wt = ws_.tensor(0, Shape{out_, in_});
     ops::transpose_into(w_, wt);
-    return ops::matmul_transposed_b_packed(grad_out, wt);
+    Tensor gx = ops::matmul_transposed_b_packed(grad_out, wt);
+    ws_.trim();  // pass boundary: the transposed panel is dead now
+    return gx;
   }
   gw_ += ops::matmul_transposed_a(cached_input_, grad_out);
   gb_ += ops::column_sums(grad_out);

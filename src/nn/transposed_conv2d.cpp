@@ -67,8 +67,11 @@ Tensor TransposedConv2D::forward(const Tensor& x, bool train) {
       cached_batch_ = n;
       used_plan_ = true;
     }
-    return detail::rows_to_nchw(*rows, n, out_c_, dilated_geom_.out_h(),
-                                dilated_geom_.out_w());
+    Tensor y = detail::rows_to_nchw(*rows, n, out_c_, dilated_geom_.out_h(),
+                                    dilated_geom_.out_w());
+    // Inference passes end here; training keeps cols live for backward.
+    if (!train) ws_.trim();
+    return y;
   }
   Tensor dilated = zero_insert(x, stride_);
   Tensor cols = im2col(dilated, dilated_geom_);
@@ -102,6 +105,7 @@ Tensor TransposedConv2D::backward(const Tensor& grad_out) {
     // writes the undilated gradient directly (zero_insert_adjoint composed).
     Tensor gx(Shape{n, in_c_, in_h_, in_w_});
     col2im_plan_.run(gcols.data(), n, gx.data());
+    ws_.trim();  // pass boundary: every slot's contents are dead now
     return gx;
   }
   Tensor grows = detail::nchw_to_rows(grad_out);

@@ -23,7 +23,9 @@ Snapshotter& Snapshotter::instance() {
 
 void Snapshotter::tick() {
   std::lock_guard<std::mutex> lock(mu_);
-  last_activity_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  // Same >= 1 clamp as wall_tick(): 0 is the "never ticked" sentinel.
+  last_activity_ns_.store(std::max<std::uint64_t>(monotonic_ns(), 1),
+                          std::memory_order_relaxed);
   tick_locked();
 }
 
@@ -34,25 +36,36 @@ void Snapshotter::tick_locked() {
     s.wall_ns = monotonic_ns();
     Registry::instance().sample(s.counters, s.gauges);
     samples_.push_back(std::move(s));
-    if (samples_.size() >= capacity_) {
-      // Ring full: drop every other sample and double the stride. Retained
-      // ticks stay multiples of the new stride, so spacing remains uniform.
-      std::size_t keep = 0;
-      for (std::size_t i = 0; i < samples_.size(); i += 2) {
-        if (keep != i) samples_[keep] = std::move(samples_[i]);  // no self-move
-        ++keep;
-      }
-      samples_.resize(keep);
-      stride_ *= 2;
-    }
+    compact_locked();
   }
   ++ticks_;
 }
 
+void Snapshotter::compact_locked() {
+  // Ring full: drop every other sample and double the stride (repeatedly,
+  // so a capacity shrink far below the retained count converges too).
+  // Retained ticks stay multiples of the new stride; spacing stays uniform.
+  while (samples_.size() >= capacity_) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) {
+      if (keep != i) samples_[keep] = std::move(samples_[i]);  // no self-move
+      ++keep;
+    }
+    samples_.resize(keep);
+    stride_ *= 2;
+  }
+}
+
 void Snapshotter::wall_tick() {
-  const std::uint64_t now = monotonic_ns();
+  // Clamp to >= 1 so the stored stamp can never be the 0 sentinel again.
+  const std::uint64_t now = std::max<std::uint64_t>(monotonic_ns(), 1);
   std::uint64_t last = last_activity_ns_.load(std::memory_order_relaxed);
-  if (now - last < wall_interval_ns_) return;
+  // last == 0 means no tick of either kind has ever fired: sample right
+  // away. The elapsed check alone would silently swallow the whole first
+  // interval — monotonic_ns() counts from a process-local epoch, so early
+  // in the run `now` itself is smaller than the interval.
+  if (last != 0 && now - last < wall_interval_ns_.load(std::memory_order_relaxed))
+    return;
   // One winner per interval; losers (and racing step ticks) skip.
   if (!last_activity_ns_.compare_exchange_strong(last, now,
                                                  std::memory_order_relaxed))
@@ -84,6 +97,18 @@ std::size_t Snapshotter::capacity() const {
 void Snapshotter::set_capacity(std::size_t cap) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = std::max<std::size_t>(cap, 4);
+  // A shrink must restore size() < capacity() immediately — downstream
+  // consumers (validate_obs_json.py) treat an over-full ring as corrupt.
+  compact_locked();
+}
+
+std::uint64_t Snapshotter::wall_interval_ms() const {
+  return wall_interval_ns_.load(std::memory_order_relaxed) / 1000000ull;
+}
+
+void Snapshotter::set_wall_interval_ms(std::uint64_t ms) {
+  wall_interval_ns_.store(std::max<std::uint64_t>(ms, 1) * 1000000ull,
+                          std::memory_order_relaxed);
 }
 
 std::vector<Snapshot> Snapshotter::samples() const {

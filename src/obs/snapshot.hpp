@@ -52,7 +52,16 @@ class Snapshotter {
   std::uint64_t ticks() const;
   std::uint64_t stride() const;
   std::size_t capacity() const;
-  void set_capacity(std::size_t cap);  // also RERAMDL_SNAPSHOT_CAP; min 4
+  // Also RERAMDL_SNAPSHOT_CAP; min 4. Shrinking below the retained sample
+  // count compacts immediately (stride-doubling), so size() < capacity()
+  // holds right after the call — not only at the next tick.
+  void set_capacity(std::size_t cap);
+
+  // Wall-tick rate limit (RERAMDL_SNAPSHOT_WALL_MS at construction). The
+  // setter exists for tests that drive wall-clock-only mode without
+  // re-execing with a different environment.
+  std::uint64_t wall_interval_ms() const;
+  void set_wall_interval_ms(std::uint64_t ms);  // min 1
 
   // Copy of the retained samples, oldest first (tests / tools).
   std::vector<Snapshot> samples() const;
@@ -66,13 +75,14 @@ class Snapshotter {
   Snapshotter();
 
   void tick_locked();
+  void compact_locked();
 
   mutable std::mutex mu_;
   std::vector<Snapshot> samples_;
   std::uint64_t ticks_ = 0;
   std::uint64_t stride_ = 1;
   std::size_t capacity_;
-  std::uint64_t wall_interval_ns_;
+  std::atomic<std::uint64_t> wall_interval_ns_;
   std::atomic<std::uint64_t> last_activity_ns_{0};
 };
 

@@ -1,0 +1,48 @@
+// Dynamic batching policy: when does a tenant's queue want to launch?
+//
+// Pure virtual-time logic, shared by the scheduler and the policy unit
+// tests. A non-empty queue asks to launch at
+//
+//   trigger = min( arrival of the max_batch-th oldest request,   [batch full]
+//                  oldest arrival + max_wait_us )                [window up]
+//
+// i.e. a full batch launches the instant it fills, and a partial batch
+// launches when its oldest request has waited the whole batching window.
+// The actual launch additionally waits for the tenant's chip:
+// launch = max(trigger, chip_free_us); requests that arrive before the
+// launch moment still join the batch (up to max_batch), which is exactly
+// how a busy chip grows batches under load.
+//
+// Everything here depends only on queue contents and the config, never on
+// the wall clock or thread count — the scheduler's determinism rests on it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "serving/queue.hpp"
+#include "serving/request.hpp"
+
+namespace reramdl::serving {
+
+// Virtual time at which `q` wants to launch a batch; nullopt when empty.
+inline std::optional<std::uint64_t> batch_trigger_us(const TenantQueue& q,
+                                                     const ServingConfig& cfg) {
+  const std::optional<std::uint64_t> oldest = q.arrival_at(0);
+  if (!oldest) return std::nullopt;
+  std::uint64_t trigger = *oldest + cfg.max_wait_us;
+  if (cfg.max_batch >= 1) {
+    const std::optional<std::uint64_t> full = q.arrival_at(cfg.max_batch - 1);
+    if (full) trigger = std::min(trigger, *full);
+  }
+  return trigger;
+}
+
+// Launch moment once the chip's availability is folded in.
+inline std::uint64_t launch_us(std::uint64_t trigger_us,
+                               std::uint64_t chip_free_us) {
+  return std::max(trigger_us, chip_free_us);
+}
+
+}  // namespace reramdl::serving

@@ -1,0 +1,105 @@
+// Bounded per-tenant request queue with admission control.
+//
+// One TenantQueue guards one tenant's pending requests. Producers call
+// admit() from any thread (the critical section is a deque push plus
+// counter bumps — "lock-free-ish": no allocation in steady state beyond the
+// deque's block reuse, and never any compute under the lock); the scheduler
+// thread calls oldest_arrival_us()/size() to evaluate batch triggers and
+// pop_batch() to extract up to max_batch requests in FIFO order.
+//
+// Accounting invariant (enforced by tests and the serving bench's exit
+// code): submitted() == completed-by-server + rejected() + shed() + size().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace reramdl::serving {
+
+class TenantQueue {
+ public:
+  TenantQueue(std::size_t depth, AdmissionPolicy policy)
+      : depth_(depth == 0 ? 1 : depth), policy_(policy) {}
+
+  TenantQueue(const TenantQueue&) = delete;
+  TenantQueue& operator=(const TenantQueue&) = delete;
+
+  // Admission: on a full queue, kReject refuses `r` (returned in
+  // `rejected`), kShedOldest pops the oldest pending request (returned in
+  // `shed`) and admits `r`. At most one of the two optionals is set.
+  struct AdmitResult {
+    bool admitted = false;
+    std::optional<Request> shed;  // victim under kShedOldest
+  };
+  AdmitResult admit(Request r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    AdmitResult res;
+    if (q_.size() >= depth_) {
+      if (policy_ == AdmissionPolicy::kReject) {
+        ++rejected_;
+        return res;
+      }
+      res.shed = std::move(q_.front());
+      q_.pop_front();
+      ++shed_;
+    }
+    q_.push_back(std::move(r));
+    res.admitted = true;
+    return res;
+  }
+
+  // FIFO batch extraction: up to max_batch oldest requests.
+  std::vector<Request> pop_batch(std::size_t max_batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = std::min(max_batch, q_.size());
+    std::vector<Request> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return batch;
+  }
+
+  // Arrival stamp of the request at FIFO position `pos` (0 = oldest);
+  // nullopt when fewer than pos+1 requests are queued. pos = max_batch-1
+  // gives the batcher its "queue reached a full batch at this time" trigger.
+  std::optional<std::uint64_t> arrival_at(std::size_t pos) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pos >= q_.size()) return std::nullopt;
+    return q_[pos].arrival_us;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+  std::uint64_t submitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitted_;
+  }
+  std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  std::uint64_t shed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+
+ private:
+  const std::size_t depth_;
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  std::deque<Request> q_;
+  std::uint64_t submitted_ = 0, rejected_ = 0, shed_ = 0;
+};
+
+}  // namespace reramdl::serving

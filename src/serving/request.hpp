@@ -1,0 +1,83 @@
+// Request/response types for the multi-tenant serving layer (DESIGN.md §14).
+//
+// The serving subsystem runs in *virtual time*: every request carries a
+// microsecond arrival stamp from the workload trace, admission and batching
+// decisions compare those stamps (never the wall clock), and completions are
+// stamped with a modeled per-batch service latency. Compute is real — each
+// launched batch runs the tenant's network through its crossbar executor on
+// the shared thread pool — but the latency accounting is simulated, which is
+// what makes a replay bit-reproducible for any RERAMDL_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace reramdl::serving {
+
+// What the admission controller does when a tenant's queue is full.
+enum class AdmissionPolicy {
+  kReject,     // refuse the new request (client sees an error)
+  kShedOldest  // drop the oldest queued request to make room (stale results
+               // are worth less than fresh ones under overload)
+};
+
+enum class RequestStatus : std::uint8_t {
+  kCompleted = 0,
+  kRejected = 1,  // refused at admission (queue full, kReject policy)
+  kShed = 2       // admitted but later dropped by kShedOldest
+};
+
+// One inference request: a single sample for tenant `tenant`'s model.
+struct Request {
+  std::uint64_t id = 0;
+  std::size_t tenant = 0;
+  std::uint64_t arrival_us = 0;  // virtual time
+  Tensor input;                  // one sample, no batch dim (e.g. [c, h, w])
+};
+
+// Terminal record for one request. For kCompleted, `output` holds the
+// model's output row and the three stamps bracket the request's life:
+// queue wait = dispatch - arrival, service = done - dispatch,
+// end-to-end = done - arrival (all virtual microseconds). Rejected requests
+// carry only the arrival stamp; shed requests additionally stamp `done_us`
+// with the shed time.
+struct Outcome {
+  std::uint64_t id = 0;
+  std::size_t tenant = 0;
+  RequestStatus status = RequestStatus::kCompleted;
+  std::uint64_t arrival_us = 0;
+  std::uint64_t dispatch_us = 0;
+  std::uint64_t done_us = 0;
+  std::size_t batch_size = 0;  // size of the batch the request rode in
+  Tensor output;
+
+  std::uint64_t queue_us() const { return dispatch_us - arrival_us; }
+  std::uint64_t service_us() const { return done_us - dispatch_us; }
+  std::uint64_t e2e_us() const { return done_us - arrival_us; }
+};
+
+// Serving policy knobs. The modeled service latency of a launched batch of b
+// requests is service_overhead_us + b * service_per_request_us — the fixed
+// per-invocation cost (driver setup, peripheral conversion pipeline fill)
+// plus a per-sample cost, mirroring how the batched crossbar kernel
+// amortizes its per-call overhead (DESIGN.md §8). The virtual-time latency
+// percentiles derive from this model; wall-clock throughput is measured
+// separately from the real compute.
+struct ServingConfig {
+  std::size_t max_batch = 32;          // dynamic batcher cap
+  std::uint64_t max_wait_us = 2000;    // oldest request's batching window
+  std::size_t queue_depth = 256;       // per-tenant admission bound
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  std::size_t num_chips = 1;           // shards; tenants round-robin onto chips
+  std::uint64_t service_overhead_us = 150;
+  std::uint64_t service_per_request_us = 50;
+
+  std::uint64_t service_us(std::size_t batch) const {
+    return service_overhead_us +
+           service_per_request_us * static_cast<std::uint64_t>(batch);
+  }
+};
+
+}  // namespace reramdl::serving

@@ -1,0 +1,273 @@
+#include "serving/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+#include "serving/batcher.hpp"
+
+namespace reramdl::serving {
+
+namespace {
+
+// Serving-layer instruments. The batch-size histogram is the batching
+// policy's primary observable: its mass moving from 1 toward max_batch is
+// what turns the PR-3 kernel speedup into aggregate throughput.
+void count_batch(std::size_t tenant, std::size_t batch,
+                 std::uint64_t service_us) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static obs::Counter& batches = reg.counter("serving.batches");
+  static obs::Counter& completed = reg.counter("serving.requests_completed");
+  static obs::Histogram& sizes = reg.histogram("serving.batch_size");
+  batches.add();
+  completed.add(batch);
+  sizes.record(static_cast<double>(batch));
+  obs::Attribution::instance().add("serving/tenant" + std::to_string(tenant),
+                                   "requests", static_cast<double>(batch));
+  obs::Attribution::instance().add("serving/tenant" + std::to_string(tenant),
+                                   "service_us",
+                                   static_cast<double>(service_us));
+}
+
+void count_request_latency(std::uint64_t queue_us, std::uint64_t e2e_us) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static obs::Histogram& queue_h = reg.histogram("serving.queue_us");
+  static obs::Histogram& e2e_h = reg.histogram("serving.e2e_us");
+  queue_h.record(static_cast<double>(queue_us));
+  e2e_h.record(static_cast<double>(e2e_us));
+}
+
+void count_admission(bool rejected) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static obs::Counter& submitted = reg.counter("serving.requests_submitted");
+  static obs::Counter& rej = reg.counter("serving.requests_rejected");
+  static obs::Counter& shed = reg.counter("serving.requests_shed");
+  if (rejected) rej.add();
+  else shed.add();
+  (void)submitted;
+}
+
+void count_submitted() {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& submitted =
+      obs::Registry::instance().counter("serving.requests_submitted");
+  submitted.add();
+}
+
+}  // namespace
+
+struct Server::Tenant {
+  nn::Sequential* net = nullptr;
+  std::unique_ptr<core::CrossbarExecutor> executor;
+  std::unique_ptr<TenantQueue> queue;
+  std::size_t chip = 0;
+  // Scheduler-written, possibly polled concurrently via tenant_counters().
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> batches{0};
+};
+
+Server::Server(const ServingConfig& cfg) : cfg_(cfg) {
+  RERAMDL_CHECK_GT(cfg_.max_batch, 0u);
+  RERAMDL_CHECK_GT(cfg_.num_chips, 0u);
+  chip_free_us_.assign(cfg_.num_chips, 0);
+}
+
+Server::~Server() = default;
+
+std::size_t Server::add_tenant(nn::Sequential& net,
+                               const core::AcceleratorConfig& accel) {
+  const std::size_t t = tenants_.size();
+  auto tenant = std::make_unique<Tenant>();
+  tenant->net = &net;
+  tenant->executor = std::make_unique<core::CrossbarExecutor>(net, accel);
+  tenant->queue =
+      std::make_unique<TenantQueue>(cfg_.queue_depth, cfg_.admission);
+  tenant->chip = t % cfg_.num_chips;
+  // Book the tenant's per-tile crossbar work under the serving tree, so the
+  // run report attributes chip time to tenants (serving/tenant<t>/layer<l>).
+  std::vector<std::string> paths;
+  paths.reserve(tenant->executor->num_grids());
+  for (std::size_t l = 0; l < tenant->executor->num_grids(); ++l)
+    paths.push_back("serving/tenant" + std::to_string(t) + "/layer" +
+                    std::to_string(l));
+  tenant->executor->set_attribution_paths(paths);
+  tenants_.push_back(std::move(tenant));
+  return t;
+}
+
+std::size_t Server::tenant_chip(std::size_t tenant) const {
+  RERAMDL_CHECK_LT(tenant, tenants_.size());
+  return tenants_[tenant]->chip;
+}
+
+void Server::submit(Request r) {
+  RERAMDL_CHECK_LT(r.tenant, tenants_.size());
+  count_submitted();
+  Tenant& t = *tenants_[r.tenant];
+  // Stash what the failure outcomes need before the queue takes ownership.
+  const std::uint64_t id = r.id, arrival = r.arrival_us;
+  const std::size_t tenant = r.tenant;
+  TenantQueue::AdmitResult res = t.queue->admit(std::move(r));
+  if (!res.admitted) {
+    count_admission(/*rejected=*/true);
+    Outcome o;
+    o.id = id;
+    o.tenant = tenant;
+    o.status = RequestStatus::kRejected;
+    o.arrival_us = arrival;
+    o.done_us = arrival;
+    record_outcome(std::move(o));
+  } else if (res.shed) {
+    count_admission(/*rejected=*/false);
+    Outcome o;
+    o.id = res.shed->id;
+    o.tenant = res.shed->tenant;
+    o.status = RequestStatus::kShed;
+    o.arrival_us = res.shed->arrival_us;
+    o.done_us = arrival;  // dropped when the newer request displaced it
+    record_outcome(std::move(o));
+  }
+}
+
+void Server::advance(std::uint64_t now_us) {
+  // Launch in global launch-time order: repeatedly pick the earliest
+  // (launch, tenant) pair at or before now. Each launch moves its chip's
+  // availability forward, which can delay (and thereby grow) later batches
+  // — evaluating triggers fresh each round keeps that feedback exact.
+  for (;;) {
+    std::uint64_t best_launch = std::numeric_limits<std::uint64_t>::max();
+    std::size_t best_tenant = tenants_.size();
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      const std::optional<std::uint64_t> trigger =
+          batch_trigger_us(*tenants_[t]->queue, cfg_);
+      if (!trigger) continue;
+      const std::uint64_t l =
+          launch_us(*trigger, chip_free_us_[tenants_[t]->chip]);
+      if (l < best_launch) {
+        best_launch = l;
+        best_tenant = t;
+      }
+    }
+    if (best_tenant == tenants_.size() || best_launch > now_us) return;
+    launch(best_tenant, best_launch);
+  }
+}
+
+void Server::drain() { advance(std::numeric_limits<std::uint64_t>::max()); }
+
+void Server::launch(std::size_t tenant, std::uint64_t at_us) {
+  Tenant& t = *tenants_[tenant];
+  std::vector<Request> batch = t.queue->pop_batch(cfg_.max_batch);
+  RERAMDL_CHECK(!batch.empty());
+  const std::size_t b = batch.size();
+
+  // Stack the samples into one [b, ...] tensor; every request must carry
+  // the tenant model's input shape.
+  const Shape& sample = batch[0].input.shape();
+  std::vector<std::size_t> dims;
+  dims.reserve(sample.rank() + 1);
+  dims.push_back(b);
+  for (std::size_t d = 0; d < sample.rank(); ++d) dims.push_back(sample[d]);
+  Tensor x(Shape{dims});
+  const std::size_t elems = sample.numel();
+  for (std::size_t i = 0; i < b; ++i) {
+    RERAMDL_CHECK(batch[i].input.shape() == sample);
+    std::memcpy(x.data() + i * elems, batch[i].input.data(),
+                elems * sizeof(float));
+  }
+
+  // Real compute: the tenant's crossbar-hooked forward on the shared pool.
+  const Tensor y = t.net->forward(x, /*train=*/false);
+  RERAMDL_CHECK_EQ(y.shape()[0], b);
+  const std::size_t out_elems = y.numel() / b;
+
+  const std::uint64_t service = cfg_.service_us(b);
+  const std::uint64_t done = at_us + service;
+  chip_free_us_[t.chip] = done;
+  t.completed.fetch_add(b, std::memory_order_relaxed);
+  t.batches.fetch_add(1, std::memory_order_relaxed);
+  count_batch(tenant, b, service);
+
+  for (std::size_t i = 0; i < b; ++i) {
+    Outcome o;
+    o.id = batch[i].id;
+    o.tenant = tenant;
+    o.status = RequestStatus::kCompleted;
+    o.arrival_us = batch[i].arrival_us;
+    o.dispatch_us = at_us;
+    o.done_us = done;
+    o.batch_size = b;
+    o.output = Tensor(Shape{out_elems});
+    std::memcpy(o.output.data(), y.data() + i * out_elems,
+                out_elems * sizeof(float));
+    count_request_latency(o.queue_us(), o.e2e_us());
+    record_outcome(std::move(o));
+  }
+  // Step tick for the time-series snapshots: one per launched batch.
+  obs::snapshot_tick();
+}
+
+void Server::record_outcome(Outcome o) {
+  std::lock_guard<std::mutex> lock(outcomes_mu_);
+  outcomes_.push_back(std::move(o));
+}
+
+std::vector<Outcome> Server::take_outcomes() {
+  std::lock_guard<std::mutex> lock(outcomes_mu_);
+  std::vector<Outcome> out = std::move(outcomes_);
+  outcomes_.clear();
+  return out;
+}
+
+std::vector<Outcome> Server::run_replay(std::vector<Request> trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0)
+      RERAMDL_CHECK_GE(trace[i].arrival_us, trace[i - 1].arrival_us);
+    // A request arriving exactly at a pending trigger misses that batch
+    // (launch-then-admit), so the tie-break is fixed and replayable.
+    advance(trace[i].arrival_us);
+    submit(std::move(trace[i]));
+  }
+  drain();
+  std::vector<Outcome> out = take_outcomes();
+  std::sort(out.begin(), out.end(),
+            [](const Outcome& a, const Outcome& b) { return a.id < b.id; });
+  return out;
+}
+
+Server::TenantCounters Server::tenant_counters(std::size_t tenant) const {
+  RERAMDL_CHECK_LT(tenant, tenants_.size());
+  const Tenant& t = *tenants_[tenant];
+  TenantCounters c;
+  c.submitted = t.queue->submitted();
+  c.completed = t.completed.load(std::memory_order_relaxed);
+  c.rejected = t.queue->rejected();
+  c.shed = t.queue->shed();
+  c.batches = t.batches.load(std::memory_order_relaxed);
+  c.queued = t.queue->size();
+  return c;
+}
+
+bool Server::accounting_conserved() const {
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantCounters c = tenant_counters(t);
+    if (c.submitted != c.completed + c.rejected + c.shed + c.queued)
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t Server::chip_free_us(std::size_t c) const {
+  RERAMDL_CHECK_LT(c, chip_free_us_.size());
+  return chip_free_us_[c];
+}
+
+}  // namespace reramdl::serving

@@ -1,0 +1,110 @@
+// Multi-tenant inference server over the crossbar fast path (DESIGN.md §14).
+//
+// The Server multiplexes many model instances (tenants) across a set of
+// simulated chips. Each tenant owns a bounded admission queue
+// (serving/queue.hpp); the dynamic batcher (serving/batcher.hpp) coalesces a
+// tenant's pending requests into a single batched forward pass through that
+// tenant's CrossbarExecutor — the batch-level dispatch the PR-3/PR-6 kernels
+// were built for — and the scheduler orders launches across tenants in
+// virtual time, serializing batches per chip.
+//
+// Determinism contract: batch composition and all latency stamps are pure
+// functions of (trace, config) — triggers compare virtual arrival stamps,
+// ties break on the lowest tenant id, per-chip availability is modeled with
+// service_us(), and the wall clock is never consulted. The compute inside a
+// launch is the batched crossbar path, which is bit-identical for any
+// RERAMDL_THREADS, so an entire replay (outputs + outcome records) is
+// bit-reproducible across thread counts. Wall-clock throughput is measured
+// by the caller around run_replay(); it is the only non-deterministic
+// number.
+//
+// Concurrency: submit() is thread-safe (per-tenant queue locks); advance(),
+// drain(), and run_replay() constitute the scheduler and must be driven by
+// one thread at a time (a batch's forward pass parallelizes internally on
+// the shared pool — nesting scheduler threads on top would oversubscribe
+// it, see common/parallel.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/accelerator_config.hpp"
+#include "core/functional.hpp"
+#include "nn/sequential.hpp"
+#include "serving/queue.hpp"
+#include "serving/request.hpp"
+
+namespace reramdl::serving {
+
+class Server {
+ public:
+  explicit Server(const ServingConfig& cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers a tenant model and programs its crossbar executor; `net` must
+  // outlive the server. Tenants land on chips round-robin
+  // (chip = tenant % num_chips) and their grids are attributed under
+  // "serving/tenant<t>/layer<l>". Returns the tenant id.
+  std::size_t add_tenant(nn::Sequential& net,
+                         const core::AcceleratorConfig& accel);
+
+  std::size_t num_tenants() const { return tenants_.size(); }
+  std::size_t tenant_chip(std::size_t tenant) const;
+
+  // Admission at virtual time r.arrival_us. Rejected/shed requests become
+  // Outcomes immediately. Thread-safe.
+  void submit(Request r);
+
+  // Scheduler: launches every batch whose launch moment is <= now_us, in
+  // launch-time order (ties: lowest tenant id). One thread at a time.
+  void advance(std::uint64_t now_us);
+
+  // Flushes everything still queued (equivalent to advance(+inf)).
+  void drain();
+
+  // Moves out the outcome records accumulated since the last call.
+  std::vector<Outcome> take_outcomes();
+
+  // Deterministic replay: trace must be sorted by arrival_us. Each arrival
+  // first advances the scheduler to its stamp, then submits; a final drain
+  // flushes the tail. Returns every outcome, sorted by request id.
+  std::vector<Outcome> run_replay(std::vector<Request> trace);
+
+  // Per-tenant accounting. Invariant (checked by tests and the bench):
+  // submitted == completed + rejected + shed + still-queued.
+  struct TenantCounters {
+    std::uint64_t submitted = 0, completed = 0, rejected = 0, shed = 0;
+    std::uint64_t batches = 0;
+    std::size_t queued = 0;
+  };
+  TenantCounters tenant_counters(std::size_t tenant) const;
+  bool accounting_conserved() const;
+
+  // Modeled availability of chip `c` (virtual µs); the last completion time
+  // once traffic has flowed.
+  std::uint64_t chip_free_us(std::size_t c) const;
+
+  const ServingConfig& config() const { return cfg_; }
+
+ private:
+  struct Tenant;
+
+  // Launches one batch for `tenant` at virtual time `at_us`.
+  void launch(std::size_t tenant, std::uint64_t at_us);
+  void record_outcome(Outcome o);
+
+  ServingConfig cfg_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::uint64_t> chip_free_us_;  // per chip
+
+  std::mutex outcomes_mu_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace reramdl::serving

@@ -1,0 +1,76 @@
+#include "serving/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace reramdl::serving {
+
+namespace {
+
+// splitmix64 finalizer — the same stream-splitting construction the fault
+// maps use, giving each (seed, tenant, sequence) its own payload stream.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double rate_at(const TrafficSpec& spec, std::uint64_t t_us) {
+  if (spec.burst_factor <= 1.0 || spec.burst_duty <= 0.0 ||
+      spec.burst_period_us == 0)
+    return spec.rate_rps;
+  const std::uint64_t phase = t_us % spec.burst_period_us;
+  const double burst_end =
+      spec.burst_duty * static_cast<double>(spec.burst_period_us);
+  return static_cast<double>(phase) < burst_end
+             ? spec.rate_rps * spec.burst_factor
+             : spec.rate_rps;
+}
+
+}  // namespace
+
+std::vector<Request> generate_trace(const TrafficSpec& spec,
+                                    const Shape& input_shape) {
+  RERAMDL_CHECK_GT(spec.tenants, 0u);
+  RERAMDL_CHECK_GT(spec.rate_rps, 0.0);
+
+  std::vector<Request> trace;
+  for (std::size_t t = 0; t < spec.tenants; ++t) {
+    Rng arrivals(mix(spec.seed ^ (0xa11ced00ULL + t)));
+    double now_us = 0.0;
+    std::uint64_t seq = 0;
+    for (;;) {
+      // Exponential gap at the instantaneous rate (piecewise-constant
+      // modulation evaluated at the current time — exact within a phase,
+      // and deterministic everywhere, which is all the replay needs).
+      const double rate_per_us =
+          rate_at(spec, static_cast<std::uint64_t>(now_us)) * 1e-6;
+      const double u = arrivals.uniform();
+      now_us += -std::log(1.0 - u) / rate_per_us;
+      if (now_us >= static_cast<double>(spec.duration_us)) break;
+      Request r;
+      r.tenant = t;
+      r.arrival_us = static_cast<std::uint64_t>(now_us);
+      Rng payload(mix(spec.seed ^ mix(0xdeadbea7ULL + t) ^ seq));
+      r.input = Tensor(input_shape);
+      for (std::size_t i = 0; i < r.input.numel(); ++i)
+        r.input[i] = static_cast<float>(payload.uniform());
+      trace.push_back(std::move(r));
+      ++seq;
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.arrival_us != b.arrival_us)
+                       return a.arrival_us < b.arrival_us;
+                     return a.tenant < b.tenant;
+                   });
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i].id = i;
+  return trace;
+}
+
+}  // namespace reramdl::serving

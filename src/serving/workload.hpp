@@ -1,0 +1,43 @@
+// Deterministic heavy-traffic workload generation for the serving layer.
+//
+// Produces a replayable arrival trace: per-tenant Poisson arrivals whose
+// rate is modulated by a periodic burst phase (an on/off modulated Poisson
+// process — the standard stand-in for diurnal spikes and thundering herds),
+// with every inter-arrival gap and every request payload drawn from
+// explicitly seeded Rngs. Two calls with the same spec produce bit-identical
+// traces on any machine, which is what lets the serving bench assert replay
+// reproducibility across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.hpp"
+#include "tensor/shape.hpp"
+
+namespace reramdl::serving {
+
+struct TrafficSpec {
+  std::size_t tenants = 4;
+  std::uint64_t duration_us = 1'000'000;
+  double rate_rps = 2000.0;  // per-tenant base Poisson rate
+
+  // Burst modulation: within each burst_period_us window, the first
+  // burst_duty fraction runs at rate_rps * burst_factor, the rest at the
+  // base rate. burst_factor = 1 (or duty 0) degenerates to pure Poisson.
+  double burst_factor = 4.0;
+  std::uint64_t burst_period_us = 200'000;
+  double burst_duty = 0.25;
+
+  std::uint64_t seed = 2018;
+};
+
+// The full trace, sorted by arrival_us (ties broken by tenant id), with
+// globally unique request ids assigned in arrival order. Each request's
+// input is a fresh sample of shape `input_shape`, uniform in [0, 1) from a
+// per-(tenant, sequence) seeded stream — independent of how the per-tenant
+// streams interleave.
+std::vector<Request> generate_trace(const TrafficSpec& spec,
+                                    const Shape& input_shape);
+
+}  // namespace reramdl::serving

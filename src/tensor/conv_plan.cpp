@@ -39,6 +39,14 @@ void count_cache(bool hit) {
                                    1.0);
 }
 
+void count_eviction() {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& evictions =
+      obs::Registry::instance().counter("plan.cache_evictions");
+  evictions.add();
+  obs::Attribution::instance().add("host/plan_cache", "evictions", 1.0);
+}
+
 }  // namespace plan
 
 namespace {

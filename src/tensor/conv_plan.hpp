@@ -44,6 +44,10 @@ void set_enabled(bool on);
 // RERAMDL_METRICS gate). Layers call this from their ensure_plan step.
 void count_cache(bool hit);
 
+// Bumps the plan.cache_evictions counter (same RERAMDL_METRICS gate).
+// The workspace arena calls this when its byte cap forces a slot release.
+void count_eviction();
+
 }  // namespace plan
 
 class Im2ColPlan {

@@ -62,6 +62,11 @@ void Tensor::reuse(Shape new_shape) {
   data_.resize(shape_.numel());
 }
 
+void Tensor::release() {
+  shape_ = Shape{};
+  std::vector<float>().swap(data_);
+}
+
 Tensor Tensor::reshaped(Shape new_shape) const {
   RERAMDL_CHECK_EQ(new_shape.numel(), numel());
   Tensor t;

@@ -49,6 +49,9 @@ class Tensor {
   // numel fits in the current capacity (grow-only storage). Contents are
   // unspecified afterwards — workspace callers overwrite every element.
   void reuse(Shape new_shape);
+  // Free the backing storage entirely (shape becomes empty). Used by the
+  // workspace arena's eviction path; a later reuse() re-grows from zero.
+  void release();
   // Bytes of backing storage currently reserved (>= numel * sizeof(float)).
   std::size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
 

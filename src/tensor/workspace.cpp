@@ -1,8 +1,36 @@
 #include "tensor/workspace.hpp"
 
+#include <atomic>
+
+#include "common/env.hpp"
 #include "common/scratch.hpp"
+#include "tensor/conv_plan.hpp"
 
 namespace reramdl {
+
+namespace {
+
+std::size_t env_default_cap() {
+  const long long mb = env::env_int("RERAMDL_ARENA_CAP_MB", 0, 0);
+  return static_cast<std::size_t>(mb) * 1024 * 1024;
+}
+
+std::atomic<std::size_t>& default_cap() {
+  static std::atomic<std::size_t> cap{env_default_cap()};
+  return cap;
+}
+
+}  // namespace
+
+std::size_t Workspace::default_byte_cap() {
+  return default_cap().load(std::memory_order_relaxed);
+}
+
+void Workspace::set_default_byte_cap(std::size_t bytes) {
+  default_cap().store(bytes, std::memory_order_relaxed);
+}
+
+Workspace::Workspace() : cap_(default_byte_cap()) {}
 
 Workspace::~Workspace() { scratch::arena_account_release(bytes_); }
 
@@ -10,6 +38,7 @@ Tensor& Workspace::tensor(std::size_t slot, const Shape& shape) {
   if (slot >= slots_.size()) {
     // Slot vector growth is part of warm-up; Tensors are tiny when empty.
     slots_.resize(slot + 1);
+    last_use_.resize(slot + 1, 0);
   }
   if (!slots_[slot]) slots_[slot] = std::make_unique<Tensor>();
   Tensor& t = *slots_[slot];
@@ -20,7 +49,38 @@ Tensor& Workspace::tensor(std::size_t slot, const Shape& shape) {
     bytes_ += after - before;
     scratch::arena_account_grow(after - before);
   }
+  last_use_[slot] = ++tick_;
   return t;
+}
+
+void Workspace::trim() {
+  if (cap_ == 0) return;
+  while (bytes_ > cap_) {
+    // LRU victim among non-empty slots, excluding the most-recently-used
+    // one: the hottest temporary stays resident even when it alone exceeds
+    // the cap, so a tight cap degrades to "keep one slot" rather than
+    // re-allocating the working panel every pass.
+    std::size_t victim = slots_.size(), mru = slots_.size();
+    std::uint64_t oldest = 0, newest = 0;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s] || slots_[s]->capacity_bytes() == 0) continue;
+      if (mru == slots_.size() || last_use_[s] > newest) {
+        mru = s;
+        newest = last_use_[s];
+      }
+      if (victim == slots_.size() || last_use_[s] < oldest) {
+        victim = s;
+        oldest = last_use_[s];
+      }
+    }
+    if (victim == slots_.size() || victim == mru) break;
+    const std::size_t freed = slots_[victim]->capacity_bytes();
+    slots_[victim]->release();
+    bytes_ -= freed;
+    scratch::arena_account_release(freed);
+    ++evictions_;
+    plan::count_eviction();
+  }
 }
 
 }  // namespace reramdl

@@ -12,8 +12,23 @@
 // and bench_train_step use to assert the zero-steady-state-allocation
 // property.
 //
+// Grow-only storage is unbounded when the caller varies the batch size
+// (e.g. a serving batcher forming differently sized batches): every new
+// high-water mark sticks forever. A per-workspace byte cap bounds this via
+// trim(): while the workspace is over its cap, the least-recently-used
+// slots are released (storage freed, ledger credited, plan.cache_evictions
+// bumped), keeping at least the most-recently-used slot resident so the
+// hot temporary never thrashes. tensor() itself NEVER evicts — slot
+// contents can be live across calls (conv backward re-fetches the im2col
+// panel its forward filled), so owners call trim() only at pass
+// boundaries where every slot's contents are dead: the end of backward,
+// or the end of an inference-mode forward. Default cap comes from
+// RERAMDL_ARENA_CAP_MB (0 = unlimited); set_byte_cap overrides per
+// workspace.
+//
 // Contents of a checked-out slot are unspecified (the previous iteration's
-// data); every fast-path consumer fully overwrites its slot.
+// data); every fast-path consumer fully overwrites its slot. After an
+// eviction, the victim slot's next checkout re-grows from zero.
 //
 // Concurrency: a Workspace belongs to one owner and is used from the thread
 // driving that owner's forward/backward, exactly like the layer activation
@@ -21,6 +36,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -30,7 +46,7 @@ namespace reramdl {
 
 class Workspace {
  public:
-  Workspace() = default;
+  Workspace();
   ~Workspace();
 
   Workspace(const Workspace&) = delete;
@@ -38,15 +54,37 @@ class Workspace {
 
   // The slot's Tensor re-shaped to `shape` (grow-only backing storage).
   // Slots are heap-pinned, so the returned reference stays valid across
-  // later tensor() calls for other slots.
+  // later tensor() calls for other slots. Never evicts.
   Tensor& tensor(std::size_t slot, const Shape& shape);
+
+  // Evict least-recently-used slots until bytes_reserved() <= byte_cap()
+  // or only one non-empty slot remains (the most-recently-used slot is
+  // never a victim). No-op when the cap is 0. Call only when no slot's
+  // contents are needed again — i.e. at a pass boundary.
+  void trim();
 
   // Bytes reserved by this workspace's slots.
   std::size_t bytes_reserved() const { return bytes_; }
 
+  // Eviction cap in bytes (0 = unlimited). Default from RERAMDL_ARENA_CAP_MB.
+  std::size_t byte_cap() const { return cap_; }
+  void set_byte_cap(std::size_t bytes) { cap_ = bytes; }
+  // Slots released by trim() since construction.
+  std::uint64_t evictions() const { return evictions_; }
+
+  // Process-wide default cap for new workspaces, in bytes (0 = unlimited).
+  // Reads RERAMDL_ARENA_CAP_MB once; set_default_byte_cap overrides (tests
+  // and the serving bench).
+  static std::size_t default_byte_cap();
+  static void set_default_byte_cap(std::size_t bytes);
+
  private:
   std::vector<std::unique_ptr<Tensor>> slots_;
+  std::vector<std::uint64_t> last_use_;  // parallel to slots_; 0 = never used
   std::size_t bytes_ = 0;
+  std::size_t cap_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace reramdl

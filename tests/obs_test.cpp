@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/chip_sim.hpp"
@@ -434,6 +436,20 @@ TEST(SampleSummaryTest, EmptyIsNaN) {
   EXPECT_TRUE(std::isnan(s.quantile(0.5)));
 }
 
+TEST(SampleSummaryTest, SingleSampleCollapsesEveryStatistic) {
+  obs::SampleSummary s;
+  s.add(7.25);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 7.25);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.25);
+  for (double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(s.quantile(q), 7.25) << "q=" << q;
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 7.25);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 7.25);
+}
+
 TEST(SampleSummaryTest, ExactNearestRankQuantiles) {
   obs::SampleSummary s;
   for (int v = 10; v >= 1; --v) s.add(v);  // insertion order is irrelevant
@@ -529,6 +545,78 @@ TEST(Snapshotter, DisabledTickIsANoOp) {
   obs::snapshot_wall_tick();
   EXPECT_EQ(snaps.size(), 0u);
   EXPECT_EQ(snaps.ticks(), 0u);
+}
+
+// Wall-clock-only mode: a workload with no step notion still gets sampled —
+// and the interval rate limit holds between samples.
+TEST(Snapshotter, WallClockOnlyModeSamples) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  auto& snaps = obs::Snapshotter::instance();
+  snaps.reset();
+  const auto saved_ms = snaps.wall_interval_ms();
+  snaps.set_wall_interval_ms(1);
+
+  obs::snapshot_wall_tick();  // first tick after reset always fires
+  EXPECT_EQ(snaps.size(), 1u);
+  obs::snapshot_wall_tick();  // within the interval: suppressed
+  EXPECT_EQ(snaps.size(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  obs::snapshot_wall_tick();  // interval elapsed: fires again
+  EXPECT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps.ticks(), 2u);
+
+  snaps.set_wall_interval_ms(saved_ms);
+}
+
+// Step ticks refresh the activity stamp, so an immediately following wall
+// tick inside the interval must not double-sample.
+TEST(Snapshotter, WallTickSuppressedWhileStepTicksFlow) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  auto& snaps = obs::Snapshotter::instance();
+  snaps.reset();
+  const auto saved_ms = snaps.wall_interval_ms();
+  snaps.set_wall_interval_ms(60000);  // nothing wall-fires in this test
+
+  obs::snapshot_tick();
+  EXPECT_EQ(snaps.size(), 1u);
+  obs::snapshot_wall_tick();
+  EXPECT_EQ(snaps.size(), 1u) << "wall tick fired despite fresh step tick";
+  EXPECT_EQ(snaps.ticks(), 1u);
+
+  snaps.set_wall_interval_ms(saved_ms);
+}
+
+// Shrinking the capacity below the retained count must compact immediately:
+// consumers assume size() < capacity() at all times, not just at tick time.
+TEST(Snapshotter, CapacityShrinkCompactsImmediately) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  auto& snaps = obs::Snapshotter::instance();
+  snaps.reset();
+  snaps.set_capacity(256);
+  for (int t = 0; t < 100; ++t) obs::snapshot_tick();
+  EXPECT_EQ(snaps.size(), 100u);
+  EXPECT_EQ(snaps.stride(), 1u);
+
+  snaps.set_capacity(8);
+  EXPECT_LT(snaps.size(), 8u);
+  EXPECT_GE(snaps.stride(), 16u);  // repeated halving, not a single pass
+  const auto samples = snaps.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.front().tick, 0u);  // run start still covered
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].tick % snaps.stride(), 0u);
+    if (i > 0) EXPECT_GT(samples[i].tick, samples[i - 1].tick);
+  }
+  // Ticking onward keeps sampling on the widened stride and keeps the ring
+  // bounded.
+  for (int t = 0; t < 32; ++t) obs::snapshot_tick();
+  EXPECT_GT(snaps.size(), 0u);
+  EXPECT_LT(snaps.size(), 8u);
+
+  snaps.set_capacity(256);  // restore the default for later tests
 }
 
 // ---- Attribution ------------------------------------------------------------

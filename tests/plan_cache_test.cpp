@@ -251,6 +251,104 @@ TEST_F(PlanCacheTest, WorkspaceLedgerTracksGrowthAndRelease) {
   EXPECT_EQ(scratch::arena_bytes_reserved(), before);
 }
 
+// The byte cap must release least-recently-used slots (never the slot being
+// checked out), keep the process ledger consistent, and count evictions.
+TEST_F(PlanCacheTest, WorkspaceByteCapEvictsLeastRecentlyUsed) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  const auto evict0 =
+      obs::Registry::instance().counter("plan.cache_evictions").value();
+  const auto ledger0 = scratch::arena_bytes_reserved();
+  {
+    Workspace ws;
+    constexpr std::size_t kSlotBytes = 1024 * sizeof(float);
+    ws.set_byte_cap(3 * kSlotBytes);
+    Tensor& a = ws.tensor(0, Shape{1024});
+    ws.tensor(1, Shape{1024});
+    ws.tensor(2, Shape{1024});
+    ws.trim();
+    EXPECT_EQ(ws.evictions(), 0u);  // exactly at the cap, nothing evicted
+    ws.tensor(0, Shape{1024});      // refresh slot 0: slot 1 is now LRU
+    ws.tensor(3, Shape{1024});      // over the cap, but tensor() never evicts
+    EXPECT_EQ(ws.evictions(), 0u);
+    EXPECT_GT(ws.bytes_reserved(), ws.byte_cap());
+    ws.trim();  // pass boundary: slot 1 must go
+    EXPECT_EQ(ws.evictions(), 1u);
+    EXPECT_LE(ws.bytes_reserved(), ws.byte_cap());
+    // Slot 0 survived the eviction pass without reallocation.
+    EXPECT_EQ(ws.tensor(0, Shape{1024}).data(), a.data());
+    // Re-checking-out the victim re-grows it; the next trim evicts the new
+    // LRU (slot 2 — slots 0, 1 and 3 were all touched more recently).
+    ws.tensor(1, Shape{1024});
+    ws.trim();
+    EXPECT_EQ(ws.evictions(), 2u);
+    EXPECT_LE(ws.bytes_reserved(), ws.byte_cap());
+    // The ledger tracks the workspace through growth and eviction alike.
+    EXPECT_EQ(scratch::arena_bytes_reserved(), ledger0 + ws.bytes_reserved());
+    // A slot larger than the whole cap: trim evicts everything else but
+    // keeps the most-recently-used slot resident (no thrash).
+    Tensor& big = ws.tensor(4, Shape{8192});
+    EXPECT_EQ(big.numel(), 8192u);
+    ws.trim();
+    EXPECT_EQ(big.numel(), 8192u);  // survived its own trim
+    EXPECT_GT(ws.bytes_reserved(), ws.byte_cap());
+    EXPECT_EQ(ws.bytes_reserved(), 8192 * sizeof(float));
+    const auto evictions = ws.evictions();
+    EXPECT_EQ(evictions, 5u);
+    EXPECT_EQ(obs::Registry::instance().counter("plan.cache_evictions").value(),
+              evict0 + evictions);
+  }
+  EXPECT_EQ(scratch::arena_bytes_reserved(), ledger0);
+  obs::set_metrics_enabled(was_enabled);
+}
+
+// A conv layer driven with varying batch sizes under a tight arena cap must
+// evict (bounding the arena) while staying bit-identical to the uncapped run.
+TEST_F(PlanCacheTest, BoundedArenaVaryingBatchMatchesUncapped) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  const auto default_cap = Workspace::default_byte_cap();
+  const auto evict0 =
+      obs::Registry::instance().counter("plan.cache_evictions").value();
+
+  Rng data_rng(77);
+  std::vector<Tensor> xs, gouts;
+  for (std::size_t b : {8u, 2u, 6u, 4u, 8u, 1u})
+    xs.push_back(random_tensor(Shape{b, 3, 10, 10}, data_rng));
+
+  auto make = [](Rng& rng) {
+    return std::make_unique<Conv2D>(3, 10, 10, 6, 3, 1, 1, rng);
+  };
+
+  Workspace::set_default_byte_cap(0);  // reference: unlimited
+  Rng ref_rng(9);
+  auto ref = make(ref_rng);
+  std::vector<Tensor> ref_y, ref_gx;
+  for (const Tensor& x : xs) {
+    ref_y.push_back(ref->forward(x, true));
+    gouts.push_back(random_tensor(ref_y.back().shape(), data_rng));
+    ref_gx.push_back(ref->backward(gouts.back()));
+  }
+
+  // 64 KiB is smaller than one batch-8 im2col panel, so every batch-size
+  // change forces evictions.
+  Workspace::set_default_byte_cap(64 * 1024);
+  Rng rng(9);
+  auto capped = make(rng);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "step " << i);
+    expect_bitwise_equal(capped->forward(xs[i], true), ref_y[i], "output");
+    expect_bitwise_equal(capped->backward(gouts[i]), ref_gx[i],
+                         "input gradient");
+  }
+  EXPECT_GT(obs::Registry::instance().counter("plan.cache_evictions").value(),
+            evict0)
+      << "tight cap with varying batches should have evicted";
+
+  Workspace::set_default_byte_cap(default_cap);
+  obs::set_metrics_enabled(was_enabled);
+}
+
 // RERAMDL_PLAN_CACHE=0 must fall back to the reference path (observable via
 // the plan switch the env var initializes).
 TEST_F(PlanCacheTest, DisabledPlanPathStillTrains) {

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 
+#include "circuit/crossbar_grid.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/scratch.hpp"
@@ -227,6 +228,121 @@ TEST(SparsityObs, SelectionAndSkipCountersAdvance) {
   EXPECT_EQ(reg.counter("sparsity.dense_calls").value(), dense0 + 1);
 
   obs::set_metrics_enabled(was_enabled);
+}
+
+// RERAMDL_SPARSE_THRESHOLD boundary regressions on the grid MVM path
+// (CrossbarGrid::compute_batch): the selector counters must match the path
+// the call actually took, for each env boundary value. The env warn-once
+// behavior for this variable is covered by InvalidEnvWarnsOnceAndFallsBack
+// above (one warning per variable per process), so these tests assert the
+// fallback *policy*, not fresh stderr lines.
+struct GridPathFixture {
+  PolicyGuard guard;
+  bool was_enabled;
+  circuit::CrossbarGrid grid;
+  Tensor rows;       // [4, 48] ~60% zeros
+  Tensor zero_rows;  // [4, 48] fully zero
+
+  GridPathFixture()
+      : was_enabled(obs::metrics_enabled()),
+        grid(circuit::CrossbarConfig{}),
+        rows(sparse_matrix(4, 48, 0.6, 71)),
+        zero_rows(Tensor::zeros(Shape{4, 48})) {
+    obs::set_metrics_enabled(true);
+    Rng rng(72);
+    const Tensor w = Tensor::uniform(Shape{48, 24}, rng, -1.0f, 1.0f);
+    grid.program(w, 1.0);
+  }
+  ~GridPathFixture() { obs::set_metrics_enabled(was_enabled); }
+
+  static std::uint64_t sparse_calls() {
+    return obs::Registry::instance().counter("sparsity.sparse_calls").value();
+  }
+  static std::uint64_t dense_calls() {
+    return obs::Registry::instance().counter("sparsity.dense_calls").value();
+  }
+};
+
+TEST(SparsityGridPath, EnvZeroForcesDenseAndSuppressesScan) {
+  GridPathFixture f;
+  setenv("RERAMDL_SPARSE_THRESHOLD", "0", 1);
+  sparsity::set_threshold(-1.0);  // drop override, re-read env
+  ASSERT_DOUBLE_EQ(sparsity::threshold(), 0.0);
+
+  // Unmeasured batch + zero threshold: the policy is dead, so the grid
+  // skips the scan entirely and records no selection at all.
+  const std::uint64_t sparse0 = f.sparse_calls(), dense0 = f.dense_calls();
+  (void)f.grid.compute_batch(f.rows, 1.0);
+  EXPECT_EQ(f.sparse_calls(), sparse0);
+  EXPECT_EQ(f.dense_calls(), dense0);
+
+  // Caller-measured fraction still records — and even a fully-zero batch
+  // must go dense when the threshold is 0.
+  (void)f.grid.compute_batch(f.zero_rows, 1.0, /*zero_fraction=*/1.0);
+  EXPECT_EQ(f.sparse_calls(), sparse0);
+  EXPECT_EQ(f.dense_calls(), dense0 + 1);
+}
+
+TEST(SparsityGridPath, EnvOneSelectsSparseOnlyForFullyZeroBatch) {
+  GridPathFixture f;
+  setenv("RERAMDL_SPARSE_THRESHOLD", "1.0", 1);
+  sparsity::set_threshold(-1.0);
+  ASSERT_DOUBLE_EQ(sparsity::threshold(), 1.0);
+
+  // ~60% zeros: scanned (threshold is live), fraction < 1 -> dense path.
+  const std::uint64_t sparse0 = f.sparse_calls(), dense0 = f.dense_calls();
+  (void)f.grid.compute_batch(f.rows, 1.0);
+  EXPECT_EQ(f.sparse_calls(), sparse0);
+  EXPECT_EQ(f.dense_calls(), dense0 + 1);
+
+  // Fully-zero batch: scan measures exactly 1.0, the >= boundary selects
+  // sparse, and the zero-skipping path trivially yields an all-zero output.
+  const Tensor out = f.grid.compute_batch(f.zero_rows, 1.0);
+  EXPECT_EQ(f.sparse_calls(), sparse0 + 1);
+  EXPECT_EQ(f.dense_calls(), dense0 + 1);
+  for (std::size_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(SparsityGridPath, InvalidEnvFallsBackToDefaultBoundary) {
+  GridPathFixture f;
+  setenv("RERAMDL_SPARSE_THRESHOLD", "not-a-number", 1);
+  sparsity::set_threshold(-1.0);
+  ASSERT_DOUBLE_EQ(sparsity::threshold(), 0.5);  // compiled-in default
+
+  // Caller-measured fractions pin the boundary exactly: 0.5 is sparse
+  // (>= threshold), anything below is dense. The sparse kernel only skips
+  // exact zeros, so a conservative claimed fraction stays bit-correct.
+  const std::uint64_t sparse0 = f.sparse_calls(), dense0 = f.dense_calls();
+  (void)f.grid.compute_batch(f.rows, 1.0, /*zero_fraction=*/0.5);
+  EXPECT_EQ(f.sparse_calls(), sparse0 + 1);
+  EXPECT_EQ(f.dense_calls(), dense0);
+  (void)f.grid.compute_batch(f.rows, 1.0, /*zero_fraction=*/0.4999);
+  EXPECT_EQ(f.sparse_calls(), sparse0 + 1);
+  EXPECT_EQ(f.dense_calls(), dense0 + 1);
+
+  // Sparse and dense selections must agree bitwise on the same batch.
+  sparsity::set_threshold(0.0);
+  const Tensor dense_out = f.grid.compute_batch(f.rows, 1.0);
+  sparsity::set_threshold(1e-9);
+  const Tensor sparse_out = f.grid.compute_batch(f.rows, 1.0);
+  ASSERT_EQ(dense_out.shape(), sparse_out.shape());
+  EXPECT_EQ(std::memcmp(dense_out.data(), sparse_out.data(),
+                        dense_out.numel() * sizeof(float)),
+            0);
+}
+
+TEST(SparsityGridPath, AttributionBucketsMatchSelectedPath) {
+  GridPathFixture f;
+  f.grid.set_obs_label("test/gridpath");
+  auto& attr = obs::Attribution::instance();
+  const double sparse0 = attr.total("test/gridpath", "sparse_calls");
+  const double dense0 = attr.total("test/gridpath", "dense_calls");
+
+  sparsity::set_threshold(0.5);
+  (void)f.grid.compute_batch(f.rows, 1.0, /*zero_fraction=*/0.9);
+  (void)f.grid.compute_batch(f.rows, 1.0, /*zero_fraction=*/0.1);
+  EXPECT_DOUBLE_EQ(attr.total("test/gridpath", "sparse_calls"), sparse0 + 1);
+  EXPECT_DOUBLE_EQ(attr.total("test/gridpath", "dense_calls"), dense0 + 1);
 }
 
 TEST(SparsityScratch, BufferLedgerStopsGrowingAfterWarmup) {

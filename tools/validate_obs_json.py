@@ -25,6 +25,11 @@ Each FILE is classified by its content and validated accordingly:
   - Fault campaigns ("bench" == "fault_campaign"): modes x rates accuracy
     grid, transient-injection section, and the campaign contract checks
     (fault-free bit-identity, thread reproducibility, recovery target).
+  - Serving benches ("bench" == "serving"): percentile-ordered latency
+    summaries per mode, per-tenant request conservation (submitted ==
+    completed + rejected + shed, nothing queued), non-empty per-tenant
+    attribution, and the deterministic contract booleans (reproducible
+    replay, >= 2x virtual batching speedup) all true.
   - BENCH_*.json ("bench" key): schema_version, kernels with parallel
     time/speedup arrays.
 
@@ -369,6 +374,85 @@ def validate_sparse_mvm(path, doc):
           f"best 75%/b32/8t speedup {doc['best_speedup_75_b32_8t']:.2f}x)")
 
 
+def validate_serving(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("workload"), str), path, "missing workload")
+    require(isinstance(doc.get("quick"), bool), path, "bad quick flag")
+    for key in ("tenants", "trace_requests", "duration_us"):
+        require(isinstance(doc.get(key), int) and doc[key] > 0, path,
+                f"bad {key}")
+    threads = doc.get("threads")
+    require(isinstance(threads, list) and threads, path, "missing threads")
+    for key in ("speedup_dynamic_over_serial_virtual",
+                "speedup_dynamic_over_serial_wall"):
+        require(is_num(doc.get(key)) and doc[key] > 0, path, f"bad {key}")
+    # Deterministic contract gates: replay reproducibility, accounting
+    # conservation, admission-control coverage, and the virtual >= 2x
+    # batching target are all pure functions of (trace, config).
+    for key in ("replay_reproducible", "accounting_conserved",
+                "admission_exercised", "throughput_target_met"):
+        require(doc.get(key) is True, path, f"contract violated: {key}")
+    modes = doc.get("modes")
+    require(isinstance(modes, list) and modes, path, "missing modes")
+    for m in modes:
+        name = m.get("name")
+        require(isinstance(name, str), path, "mode missing name")
+        for key in ("max_batch", "completed", "rejected", "shed", "batches",
+                    "virtual_makespan_us"):
+            require(isinstance(m.get(key), int) and m[key] >= 0, path,
+                    f"mode {name} bad {key}")
+        for key in ("wall_ms", "virtual_throughput_rps",
+                    "wall_throughput_rps"):
+            require(is_num(m.get(key)) and m[key] >= 0, path,
+                    f"mode {name} bad {key}")
+        require(m.get("accounting_conserved") is True, path,
+                f"mode {name} accounting not conserved")
+        for key in ("queue_us", "service_us", "e2e_us", "batch_size"):
+            check_sample_summary(path, f"mode {name} {key}", m.get(key))
+        tenants = m.get("tenants")
+        require(isinstance(tenants, list) and
+                len(tenants) == doc["tenants"], path,
+                f"mode {name} tenants mismatch")
+        completed = 0
+        for t in tenants:
+            who = f"mode {name} tenant {t.get('tenant')}"
+            for key in ("submitted", "completed", "rejected", "shed",
+                        "batches", "queued"):
+                require(isinstance(t.get(key), int) and t[key] >= 0, path,
+                        f"{who} bad {key}")
+            # Per-tenant conservation: every request that came in is
+            # accounted for, and nothing is still queued after drain.
+            require(t["queued"] == 0, path, f"{who} left requests queued")
+            require(t["submitted"] ==
+                    t["completed"] + t["rejected"] + t["shed"], path,
+                    f"{who} requests not conserved")
+            completed += t["completed"]
+        require(completed == m["completed"], path,
+                f"mode {name} per-tenant completed sum mismatch")
+    hists = doc.get("histograms")
+    require(isinstance(hists, dict) and hists, path, "missing histograms")
+    for name, h in hists.items():
+        require(isinstance(h.get("count"), int) and h["count"] >= 0, path,
+                f"hist {name} bad count")
+        if h["count"] > 0:
+            require(h["p50"] <= h["p90"] <= h["p99"], path,
+                    f"hist {name} percentiles out of order")
+    attribution = doc.get("attribution")
+    require(isinstance(attribution, list) and
+            len(attribution) == doc["tenants"], path, "bad attribution")
+    for a in attribution:
+        require(isinstance(a.get("path"), str) and
+                a["path"].startswith("serving/tenant"), path,
+                "attribution node bad path")
+        require(is_num(a.get("requests")) and a["requests"] > 0, path,
+                f"attribution {a.get('path')} no requests booked")
+        require(is_num(a.get("service_us")) and a["service_us"] > 0, path,
+                f"attribution {a.get('path')} no service time booked")
+    print(f"{path}: serving ok ({doc['tenants']} tenants, "
+          f"{doc['trace_requests']} requests, {len(modes)} modes, "
+          f"{doc['speedup_dynamic_over_serial_virtual']:.2f}x virtual)")
+
+
 def validate_bench(path, doc):
     require(doc.get("schema_version") == 1, path, "bad schema_version")
     require(isinstance(doc.get("bench"), str), path, "missing bench name")
@@ -420,6 +504,8 @@ def main(argv):
             validate_fault_campaign(path, doc)
         elif doc.get("bench") == "sparse_mvm":
             validate_sparse_mvm(path, doc)
+        elif doc.get("bench") == "serving":
+            validate_serving(path, doc)
         elif "bench" in doc:
             validate_bench(path, doc)
         else:
