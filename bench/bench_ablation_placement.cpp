@@ -24,12 +24,24 @@ void print_placement_ablation() {
                           workload::spec_vgg_d()}) {
     const auto mapping = mapping::plan_under_budget(
         net, {chip.array_rows, chip.array_cols}, chip.total_compute_arrays());
+    // The optimized placement searches against the contention-aware event
+    // model (DESIGN.md §15) but is priced here with the same closed-form
+    // evaluator as the other variants for comparability.
+    arch::NocParams search_params;
+    search_params.contention = true;
+    arch::PlacementSearchOptions search_opt;
+    search_opt.iterations = 500;
     const struct {
       const char* name;
       arch::Placement p;
     } variants[] = {
         {"snake (chained)", arch::place_snake(mapping, chip, noc)},
-        {"scattered", arch::place_scattered(mapping, chip, noc)}};
+        {"scattered", arch::place_scattered(mapping, chip, noc)},
+        {"optimized (search)",
+         arch::place_optimized(
+             mapping, chip,
+             arch::make_mesh_for_banks(chip.banks, search_params),
+             search_opt)}};
     for (const auto& v : variants) {
       const auto cost = arch::evaluate_placement(v.p, mapping, noc);
       table.add_row({net.name, v.name, std::to_string(cost.banks_used),

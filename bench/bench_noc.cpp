@@ -1,0 +1,359 @@
+// Contention-aware NoC ablation (DESIGN.md §15): prices the Table-1
+// PipeLayer/ReGAN workloads' inter-bank traffic under the placement grid
+// {scattered, snake, optimized} x the interconnect grid {uncontended
+// closed-form baseline, link-level event model, event model + SMART bypass}.
+//
+// Per-sample latency metrics:
+//   * baseline — the uncontended closed-form model: every transfer of one
+//     sample (spill gathers + inter-layer activations) priced in isolation
+//     and summed, i.e. evaluate_placement's transfer_ns_per_sample. Fully
+//     serialized, no overlap.
+//   * contention[_smart] — simulated makespan of kPipelineSamples in-flight
+//     sample chains over the same traffic, divided by the sample count: the
+//     steady-state pipelined per-sample latency, where disjoint routes
+//     overlap and shared links serialize.
+// The pre-change model (adjacent-pair sum only, no gathers) is reported
+// separately as chip_noc_ns_* and gated bit-exactly against the
+// default-params ChipSimulator.
+//
+// Enforced by exit code:
+//   * optimized placement + SMART strictly beats snake + uncontended
+//     baseline on modeled per-sample latency for every workload;
+//   * the SMART-off, contention-off ChipSimulator path reproduces the
+//     previous model's noc_ns bit-exactly (== on doubles, no tolerance);
+//   * per-link utilization <= 1.0 in every simulated variant;
+//   * all results bit-identical across RERAMDL_THREADS in {1, 4, 8}.
+//
+// Flags:
+//   --quick       fewer workloads, smaller search (CI smoke)
+//   --out=PATH    JSON output path (default BENCH_noc.json)
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/chip_sim.hpp"
+#include "arch/noc.hpp"
+#include "arch/placement.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "mapping/planner.hpp"
+#include "obs/json_writer.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+constexpr std::size_t kPipelineSamples = 8;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t mix(std::uint64_t h, T v) {
+  return fnv1a(&v, sizeof(v), h);
+}
+
+struct VariantResult {
+  std::string placement;
+  std::string noc_model;
+  double per_sample_ns = 0.0;
+  double queue_ns = 0.0;
+  double max_link_utilization = 0.0;
+  std::uint64_t smart_segments = 0;
+  std::uint64_t hops_total = 0;
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::string chip_name;
+  std::size_t layers = 0;
+  std::size_t spilled_layers = 0;
+  std::vector<VariantResult> variants;
+  // Gate inputs.
+  double snake_baseline_ns = 0.0;
+  double optimized_smart_ns = 0.0;
+  bool legacy_bit_exact = false;
+  bool utilization_bounded = true;
+  double chip_noc_ns_default = 0.0;   // ChipSimulator, default params
+  double chip_noc_ns_expected = 0.0;  // recomputed closed-form sum
+};
+
+// The previous model's per-sample NoC cost: serialized closed-form sum over
+// adjacent-layer transfers (what ChipSimulator::run charged before the
+// event model, and still charges for default NocParams).
+double closed_form_sum(const arch::Placement& p,
+                       const mapping::NetworkMapping& m,
+                       const arch::MeshNoc& noc) {
+  double ns = 0.0;
+  for (std::size_t i = 0; i + 1 < m.layers.size(); ++i)
+    ns += noc.transfer_latency_ns(p.bank[i], p.bank[i + 1],
+                                  4 * m.layers[i].spec.out_size());
+  return ns;
+}
+
+VariantResult eval_event(const std::string& placement_name,
+                         const std::string& model_name,
+                         const arch::Placement& p,
+                         const mapping::NetworkMapping& m,
+                         const arch::NocParams& params, std::size_t banks) {
+  const arch::MeshNoc noc = arch::make_mesh_for_banks(banks, params);
+  const auto rep =
+      noc.simulate(arch::sample_transfers(p, m, kPipelineSamples));
+  VariantResult v;
+  v.placement = placement_name;
+  v.noc_model = model_name;
+  v.per_sample_ns = rep.makespan_ns / static_cast<double>(kPipelineSamples);
+  v.queue_ns = rep.queue_ns;
+  v.max_link_utilization = rep.max_link_utilization();
+  v.smart_segments = rep.smart_segments;
+  v.hops_total = rep.hops_total;
+  return v;
+}
+
+WorkloadResult run_workload(const std::string& name, const nn::NetworkSpec& net,
+                            const arch::ChipConfig& chip,
+                            const std::string& chip_name,
+                            std::size_t search_iterations) {
+  const auto mapping = mapping::plan_under_budget(
+      net, {chip.array_rows, chip.array_cols}, chip.total_compute_arrays());
+
+  arch::NocParams contended;
+  contended.contention = true;
+  arch::NocParams smart = contended;
+  smart.smart_max_hops = 8;
+
+  const arch::MeshNoc plain = arch::make_mesh_for_banks(chip.banks);
+  const arch::MeshNoc search_noc =
+      arch::make_mesh_for_banks(chip.banks, smart);
+
+  const arch::Placement scattered =
+      arch::place_scattered(mapping, chip, plain);
+  const arch::Placement snake = arch::place_snake(mapping, chip, plain);
+  arch::PlacementSearchOptions opt;
+  opt.iterations = search_iterations;
+  opt.pipeline_samples = kPipelineSamples;
+  const arch::Placement optimized =
+      arch::place_optimized(mapping, chip, search_noc, opt);
+
+  WorkloadResult r;
+  r.name = name;
+  r.chip_name = chip_name;
+  r.layers = mapping.layers.size();
+  for (const auto& s : snake.spill) r.spilled_layers += s.empty() ? 0 : 1;
+
+  const struct {
+    const char* pname;
+    const arch::Placement* p;
+  } placements[] = {
+      {"scattered", &scattered}, {"snake", &snake}, {"optimized", &optimized}};
+  for (const auto& pl : placements) {
+    VariantResult base;
+    base.placement = pl.pname;
+    base.noc_model = "baseline";
+    base.per_sample_ns =
+        arch::evaluate_placement(*pl.p, mapping, plain).transfer_ns_per_sample;
+    r.variants.push_back(base);
+    r.variants.push_back(eval_event(pl.pname, "contention", *pl.p, mapping,
+                                    contended, chip.banks));
+    r.variants.push_back(
+        eval_event(pl.pname, "contention_smart", *pl.p, mapping, smart,
+                   chip.banks));
+  }
+  for (const auto& v : r.variants)
+    r.utilization_bounded &= v.max_link_utilization <= 1.0 + 1e-12;
+
+  r.snake_baseline_ns =
+      arch::evaluate_placement(snake, mapping, plain).transfer_ns_per_sample;
+  for (const auto& v : r.variants)
+    if (v.placement == "optimized" && v.noc_model == "contention_smart")
+      r.optimized_smart_ns = v.per_sample_ns;
+
+  // Legacy bit-exactness: the default-params ChipSimulator must charge the
+  // pre-change model — the adjacent-pair closed-form sum (no gathers) — to
+  // the last bit.
+  arch::ChipSimulator sim(chip, mapping, snake);
+  r.chip_noc_ns_default = sim.run_forward_pass().noc_ns;
+  r.chip_noc_ns_expected = closed_form_sum(snake, mapping, plain);
+  r.legacy_bit_exact = r.chip_noc_ns_default == r.chip_noc_ns_expected;
+  return r;
+}
+
+std::uint64_t results_digest(const std::vector<WorkloadResult>& results) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& r : results) {
+    h = fnv1a(r.name.data(), r.name.size(), h);
+    h = mix(h, r.chip_noc_ns_default);
+    for (const auto& v : r.variants) {
+      h = mix(h, v.per_sample_ns);
+      h = mix(h, v.queue_ns);
+      h = mix(h, v.max_link_utilization);
+      h = mix(h, v.smart_segments);
+      h = mix(h, v.hops_total);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_noc.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--help") {
+      std::cout << "usage: bench_noc [--quick] [--out=PATH]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg
+                << "\nusage: bench_noc [--quick] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t iterations = quick ? 300 : 2000;
+
+  struct WorkloadSpec {
+    std::string name;
+    nn::NetworkSpec net;
+    arch::ChipConfig chip;
+    std::string chip_name;
+  };
+  std::vector<WorkloadSpec> specs;
+  specs.push_back(
+      {"alexnet", workload::spec_alexnet(), arch::pipelayer_chip(),
+       "pipelayer"});
+  specs.push_back(
+      {"vgg_a", workload::spec_vgg_a(), arch::pipelayer_chip(), "pipelayer"});
+  if (!quick) {
+    specs.push_back(
+        {"vgg_d", workload::spec_vgg_d(), arch::pipelayer_chip(),
+         "pipelayer"});
+    specs.push_back({"dcgan_g64", workload::spec_dcgan_generator(64),
+                     arch::regan_chip(), "regan"});
+    specs.push_back({"dcgan_d64", workload::spec_dcgan_discriminator(64),
+                     arch::regan_chip(), "regan"});
+  }
+
+  // Thread-invariance gate: the whole grid (event sims are serial by
+  // construction; the ChipSimulator bank fan-out merges deterministically)
+  // must produce bit-identical results for any pool width.
+  const std::vector<std::size_t> thread_counts{1, 4, 8};
+  std::vector<std::uint64_t> digests;
+  std::vector<WorkloadResult> results;
+  for (const std::size_t threads : thread_counts) {
+    parallel::set_thread_count(threads);
+    std::vector<WorkloadResult> run;
+    for (const auto& s : specs)
+      run.push_back(
+          run_workload(s.name, s.net, s.chip, s.chip_name, iterations));
+    digests.push_back(results_digest(run));
+    if (threads == 8) results = std::move(run);
+  }
+  parallel::set_thread_count(0);  // restore environment default
+  bool thread_invariant = true;
+  for (const std::uint64_t d : digests) thread_invariant &= (d == digests[0]);
+
+  bool optimized_smart_beats_snake_baseline = true;
+  bool legacy_bit_exact = true;
+  bool utilization_bounded = true;
+  for (const auto& r : results) {
+    optimized_smart_beats_snake_baseline &=
+        r.optimized_smart_ns < r.snake_baseline_ns;
+    legacy_bit_exact &= r.legacy_bit_exact;
+    utilization_bounded &= r.utilization_bounded;
+  }
+
+  std::cout << "Contention-aware NoC ablation"
+            << (quick ? " (quick)" : "") << ", " << kPipelineSamples
+            << " pipelined samples per event sim\n";
+  TablePrinter table({"workload", "placement", "noc model", "per-sample us",
+                      "queue us", "max link util", "smart segs"});
+  for (const auto& r : results)
+    for (const auto& v : r.variants)
+      table.add_row({r.name, v.placement, v.noc_model,
+                     TablePrinter::fmt(v.per_sample_ns / 1e3, 3),
+                     TablePrinter::fmt(v.queue_ns / 1e3, 3),
+                     TablePrinter::fmt(v.max_link_utilization, 3),
+                     std::to_string(v.smart_segments)});
+  table.print(std::cout);
+  std::cout << "optimized+SMART < snake+baseline on every workload: "
+            << (optimized_smart_beats_snake_baseline ? "yes" : "NO")
+            << "\nlegacy (default-params) noc_ns bit-exact: "
+            << (legacy_bit_exact ? "yes" : "NO")
+            << "\nper-link utilization bounded by 1: "
+            << (utilization_bounded ? "yes" : "NO")
+            << "\nbit-identical across threads {1,4,8}: "
+            << (thread_invariant ? "yes" : "NO") << "\n";
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  obs::JsonWriter w(json);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", "noc");
+  w.kv("quick", quick);
+  w.kv("pipeline_samples", static_cast<std::uint64_t>(kPipelineSamples));
+  w.kv("search_iterations", static_cast<std::uint64_t>(iterations));
+  w.key("threads");
+  w.begin_array();
+  for (const std::size_t t : thread_counts) w.value(t);
+  w.end_array();
+  w.kv("optimized_smart_beats_snake_baseline",
+       optimized_smart_beats_snake_baseline);
+  w.kv("legacy_bit_exact", legacy_bit_exact);
+  w.kv("utilization_bounded", utilization_bounded);
+  w.kv("thread_invariant", thread_invariant);
+  w.key("workloads");
+  w.begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("chip", r.chip_name);
+    w.kv("layers", static_cast<std::uint64_t>(r.layers));
+    w.kv("spilled_layers", static_cast<std::uint64_t>(r.spilled_layers));
+    w.kv("snake_baseline_ns", r.snake_baseline_ns);
+    w.kv("optimized_smart_ns", r.optimized_smart_ns);
+    w.kv("chip_noc_ns_default", r.chip_noc_ns_default);
+    w.kv("chip_noc_ns_expected", r.chip_noc_ns_expected);
+    w.kv("legacy_bit_exact", r.legacy_bit_exact);
+    w.key("variants");
+    w.begin_array();
+    for (const auto& v : r.variants) {
+      w.begin_object();
+      w.kv("placement", v.placement);
+      w.kv("noc_model", v.noc_model);
+      w.kv("per_sample_ns", v.per_sample_ns);
+      w.kv("queue_ns", v.queue_ns);
+      w.kv("max_link_utilization", v.max_link_utilization);
+      w.kv("smart_segments", v.smart_segments);
+      w.kv("hops_total", v.hops_total);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  std::cout << "wrote " << out_path << "\n";
+
+  return (optimized_smart_beats_snake_baseline && legacy_bit_exact &&
+          utilization_bounded && thread_invariant)
+             ? 0
+             : 1;
+}

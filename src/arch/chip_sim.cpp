@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace reramdl::arch {
+
+ChipSimulator::ChipSimulator(const ChipConfig& chip,
+                             mapping::NetworkMapping mapping,
+                             Placement placement)
+    : ChipSimulator(chip, std::move(mapping), std::move(placement), chip.noc) {}
 
 ChipSimulator::ChipSimulator(const ChipConfig& chip,
                              mapping::NetworkMapping mapping,
@@ -19,6 +25,8 @@ ChipSimulator::ChipSimulator(const ChipConfig& chip,
   RERAMDL_CHECK_EQ(placement_.bank.size(), mapping_.layers.size());
   for (const std::size_t b : placement_.bank)
     RERAMDL_CHECK_LT(b, noc_.num_banks());
+  for (const auto& spill : placement_.spill)
+    for (const std::size_t b : spill) RERAMDL_CHECK_LT(b, noc_.num_banks());
 }
 
 std::vector<std::vector<std::size_t>> ChipSimulator::layers_by_bank() const {
@@ -97,20 +105,84 @@ ChipRunReport ChipSimulator::run(bool training, std::size_t batch) {
   double noc_cursor_us = sim_epoch_us_ + report.critical_bank_ns * 1e-3;
   const double passes = training ? 2.0 * static_cast<double>(batch)
                                  : 1.0;
-  for (std::size_t i = 0; i + 1 < mapping_.layers.size(); ++i) {
-    const std::size_t from = placement_.bank[i];
-    const std::size_t to = placement_.bank[i + 1];
-    const std::size_t bytes = 4 * mapping_.layers[i].spec.out_size();
-    const double transfer_ns = passes * noc_.transfer_latency_ns(from, to, bytes);
-    report.noc_ns += transfer_ns;
-    report.energy.add("noc",
-                      passes * noc_.transfer_energy_pj(from, to, bytes));
+  if (noc_.params().event_model_active()) {
+    // Link-level event model: per-pass transfer chains (spill gathers plus
+    // inter-layer activations) simulated on the per-direction link
+    // timelines, so chains of different passes overlap where their routes
+    // are disjoint and serialize where they share links. Training ships
+    // batch forward chains and batch reversed error chains. noc_ns is the
+    // simulated makespan, not a serialized sum.
+    const auto base = sample_transfers(placement_, mapping_, 1);
+    const std::size_t chains =
+        training ? 2 * batch : 1;
+    std::vector<NocTransferRequest> requests;
+    requests.reserve(base.size() * chains);
+    for (std::size_t c = 0; c < chains; ++c) {
+      const std::ptrdiff_t offset =
+          static_cast<std::ptrdiff_t>(requests.size());
+      const bool backward = training && c % 2 == 1;
+      for (NocTransferRequest r : base) {
+        if (backward) std::swap(r.from, r.to);
+        if (r.dep >= 0) r.dep += offset;
+        requests.push_back(r);
+      }
+    }
+    const NocSimReport sim = noc_.simulate(requests);
+    report.noc_ns = sim.makespan_ns;
+    double noc_pj = 0.0;
+    for (const auto& r : requests)
+      noc_pj += noc_.transfer_energy_pj(r.from, r.to, r.bytes);
+    report.energy.add("noc", noc_pj);
     if (tracing) {
-      obs::emit_complete(
-          "L" + std::to_string(i) + "->L" + std::to_string(i + 1), "noc",
-          noc_cursor_us, transfer_ns * 1e-3,
-          static_cast<int>(by_bank.size()), trace_pid_);
-      noc_cursor_us += transfer_ns * 1e-3;
+      for (std::size_t t = 0; t < requests.size(); ++t) {
+        const auto& timing = sim.transfers[t];
+        obs::emit_complete(
+            "b" + std::to_string(requests[t].from) + "->b" +
+                std::to_string(requests[t].to),
+            "noc", noc_cursor_us + timing.start_ns * 1e-3,
+            (timing.done_ns - timing.start_ns) * 1e-3,
+            static_cast<int>(by_bank.size()), trace_pid_);
+      }
+      noc_cursor_us += sim.makespan_ns * 1e-3;
+    }
+    if (attributing) {
+      // Per-link occupancy under chip/noc, keyed busy_ns/transfers so the
+      // chip-level latency_ns rollup is untouched.
+      auto& attr = obs::Attribution::instance();
+      for (std::size_t l = 0; l < sim.links.size(); ++l) {
+        if (sim.links[l].transfers == 0) continue;
+        const std::string path = "chip/noc/" + noc_.link_name(l);
+        attr.add(path, "busy_ns", sim.links[l].busy_ns);
+        attr.add(path, "transfers",
+                 static_cast<double>(sim.links[l].transfers));
+      }
+      auto& reg = obs::Registry::instance();
+      reg.gauge("chip.noc.max_link_utilization")
+          .set(sim.max_link_utilization());
+      reg.gauge("chip.noc.queue_ns").set(sim.queue_ns);
+      static obs::Counter& smart_segments =
+          reg.counter("chip.noc.smart_segments");
+      smart_segments.add(static_cast<double>(sim.smart_segments));
+    }
+  } else {
+    // Closed-form uncontended path: the pre-event-model cost, preserved
+    // bit-exactly for the default NocParams.
+    for (std::size_t i = 0; i + 1 < mapping_.layers.size(); ++i) {
+      const std::size_t from = placement_.bank[i];
+      const std::size_t to = placement_.bank[i + 1];
+      const std::size_t bytes = 4 * mapping_.layers[i].spec.out_size();
+      const double transfer_ns =
+          passes * noc_.transfer_latency_ns(from, to, bytes);
+      report.noc_ns += transfer_ns;
+      report.energy.add("noc",
+                        passes * noc_.transfer_energy_pj(from, to, bytes));
+      if (tracing) {
+        obs::emit_complete(
+            "L" + std::to_string(i) + "->L" + std::to_string(i + 1), "noc",
+            noc_cursor_us, transfer_ns * 1e-3,
+            static_cast<int>(by_bank.size()), trace_pid_);
+        noc_cursor_us += transfer_ns * 1e-3;
+      }
     }
   }
 

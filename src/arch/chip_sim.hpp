@@ -32,9 +32,13 @@ struct ChipRunReport {
 
 class ChipSimulator {
  public:
-  // The placement's banks must index into a mesh covering chip.banks.
+  // The placement's banks must index into a mesh covering chip.banks. The
+  // 3-argument form takes the NoC parameters from chip.noc; the 4-argument
+  // form overrides them explicitly.
   ChipSimulator(const ChipConfig& chip, mapping::NetworkMapping mapping,
-                Placement placement, NocParams noc_params = {});
+                Placement placement);
+  ChipSimulator(const ChipConfig& chip, mapping::NetworkMapping mapping,
+                Placement placement, NocParams noc_params);
 
   // One sample's forward pass across the chip.
   ChipRunReport run_forward_pass();

@@ -1,6 +1,10 @@
 #include "arch/noc.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <queue>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -36,6 +40,187 @@ double MeshNoc::transfer_energy_pj(std::size_t from_bank, std::size_t to_bank,
                                    std::size_t bytes) const {
   return static_cast<double>(hops(from_bank, to_bank)) *
          params_.hop_energy_pj_per_byte * static_cast<double>(bytes);
+}
+
+std::size_t MeshNoc::link_index(std::size_t node, LinkDir dir) const {
+  RERAMDL_CHECK_LT(node, num_banks());
+  return node * 4 + static_cast<std::size_t>(dir);
+}
+
+std::string MeshNoc::link_name(std::size_t link) const {
+  RERAMDL_CHECK_LT(link, num_links());
+  static const char* kDir = "EWSN";
+  const std::size_t node = link / 4;
+  return "link" + std::to_string(node / cols_) + "_" +
+         std::to_string(node % cols_) + "_" + kDir[link % 4];
+}
+
+double NocSimReport::max_link_utilization() const {
+  if (makespan_ns <= 0.0) return 0.0;
+  double busiest = 0.0;
+  for (const auto& l : links) busiest = std::max(busiest, l.busy_ns);
+  return busiest / makespan_ns;
+}
+
+namespace {
+
+// A straight run of an XY route: `len` hops in direction `dir`, the head
+// entering at mesh node `node`.
+struct RouteRun {
+  std::size_t node = 0;
+  LinkDir dir = LinkDir::kEast;
+  std::size_t len = 0;
+};
+
+// Signed node stride of one hop in `dir` for a `cols`-wide mesh.
+std::ptrdiff_t dir_stride(LinkDir dir, std::size_t cols) {
+  switch (dir) {
+    case LinkDir::kEast: return 1;
+    case LinkDir::kWest: return -1;
+    case LinkDir::kSouth: return static_cast<std::ptrdiff_t>(cols);
+    case LinkDir::kNorth: return -static_cast<std::ptrdiff_t>(cols);
+  }
+  return 0;
+}
+
+}  // namespace
+
+NocSimReport MeshNoc::simulate(
+    const std::vector<NocTransferRequest>& requests) const {
+  NocSimReport report;
+  report.transfers.resize(requests.size());
+  report.links.assign(num_links(), NocLinkStats{});
+  if (requests.empty()) return report;
+
+  // Validate requests and index the dependents of each transfer.
+  std::vector<std::vector<std::size_t>> dependents(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& r = requests[i];
+    RERAMDL_CHECK_LT(r.from, num_banks());
+    RERAMDL_CHECK_LT(r.to, num_banks());
+    if (r.dep >= 0) {
+      // Deps point backwards, so the dependency graph is trivially acyclic.
+      RERAMDL_CHECK_LT(static_cast<std::size_t>(r.dep), i);
+      dependents[static_cast<std::size_t>(r.dep)].push_back(i);
+    }
+  }
+
+  // Virtual-time injection order: earliest-ready first, request index as the
+  // deterministic tie-break. A transfer enters the queue once its dep (if
+  // any) has completed, with ready = max(own ready, dep completion) — which
+  // can never precede an already-processed transfer's ready time, so the
+  // greedy link-occupancy walk below is a consistent FCFS discipline.
+  using QueueEntry = std::pair<double, std::size_t>;  // (ready, id)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      ready_queue;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    if (requests[i].dep < 0) ready_queue.emplace(requests[i].ready_ns, i);
+
+  std::vector<double> link_free(num_links(), 0.0);
+  const double bw = params_.link_bandwidth_bytes_per_ns;
+  std::size_t processed = 0;
+
+  while (!ready_queue.empty()) {
+    const auto [ready, id] = ready_queue.top();
+    ready_queue.pop();
+    ++processed;
+    const auto& req = requests[id];
+    auto& timing = report.transfers[id];
+    timing.start_ns = ready;
+
+    const double ser = static_cast<double>(req.bytes) / bw;
+    double cursor = ready;
+
+    if (req.from != req.to) {
+      // XY route: column run first, then row run.
+      const std::size_t fr = req.from / cols_, fc = req.from % cols_;
+      const std::size_t tr = req.to / cols_, tc = req.to % cols_;
+      RouteRun runs[2];
+      std::size_t num_runs = 0;
+      if (fc != tc)
+        runs[num_runs++] = {req.from,
+                            tc > fc ? LinkDir::kEast : LinkDir::kWest,
+                            tc > fc ? tc - fc : fc - tc};
+      if (fr != tr)
+        runs[num_runs++] = {fr * cols_ + tc,
+                            tr > fr ? LinkDir::kSouth : LinkDir::kNorth,
+                            tr > fr ? tr - fr : fr - tr};
+
+      for (std::size_t ri = 0; ri < num_runs; ++ri) {
+        const RouteRun& run = runs[ri];
+        const std::ptrdiff_t stride = dir_stride(run.dir, cols_);
+        std::size_t node = run.node;
+        std::size_t remaining = run.len;
+        timing.hops += run.len;
+        while (remaining > 0) {
+          // SMART bypass: collapse the next chunk of the straight run when
+          // it fits the bypass length and every link is free at the head's
+          // arrival. A 1-hop chunk has no intermediate router to skip.
+          bool bypassed = false;
+          if (params_.smart_max_hops > 0) {
+            const std::size_t chunk =
+                std::min(remaining, params_.smart_max_hops);
+            if (chunk >= 2) {
+              bool free = true;
+              std::size_t probe = node;
+              for (std::size_t h = 0; h < chunk && free; ++h) {
+                free = link_free[link_index(probe, run.dir)] <= cursor;
+                probe = static_cast<std::size_t>(
+                    static_cast<std::ptrdiff_t>(probe) + stride);
+              }
+              if (free) {
+                for (std::size_t h = 0; h < chunk; ++h) {
+                  const std::size_t l = link_index(node, run.dir);
+                  link_free[l] = cursor + ser;
+                  report.links[l].busy_ns += ser;
+                  ++report.links[l].transfers;
+                  node = static_cast<std::size_t>(
+                      static_cast<std::ptrdiff_t>(node) + stride);
+                }
+                cursor += params_.smart_hop_latency_ns;
+                timing.smart_hops += chunk;
+                ++report.smart_segments;
+                remaining -= chunk;
+                bypassed = true;
+              }
+            }
+          }
+          if (!bypassed) {
+            // Per-hop routing with contention queuing: wait for the link,
+            // hold it for the packet's serialization time, move the head on
+            // after one hop latency.
+            const std::size_t l = link_index(node, run.dir);
+            const double wait = std::max(cursor, link_free[l]);
+            timing.queue_ns += wait - cursor;
+            link_free[l] = wait + ser;
+            report.links[l].busy_ns += ser;
+            ++report.links[l].transfers;
+            cursor = wait + params_.hop_latency_ns;
+            node = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(node) + stride);
+            --remaining;
+          }
+        }
+      }
+      // The tail streams in behind the head on the final link.
+      timing.done_ns = cursor + ser;
+    } else {
+      timing.done_ns = cursor;  // same-bank transfers are free
+    }
+
+    report.makespan_ns = std::max(report.makespan_ns, timing.done_ns);
+    report.queue_ns += timing.queue_ns;
+    report.hops_total += timing.hops;
+    report.smart_hops_total += timing.smart_hops;
+    for (const std::size_t dep_id : dependents[id])
+      ready_queue.emplace(std::max(requests[dep_id].ready_ns, timing.done_ns),
+                          dep_id);
+  }
+  // Every transfer reachable: dep chains are backward-pointing, so the only
+  // way to miss one is a dep whose own dep never completed — impossible.
+  RERAMDL_CHECK_EQ(processed, requests.size());
+  return report;
 }
 
 MeshNoc make_mesh_for_banks(std::size_t banks, NocParams params) {

@@ -3,11 +3,23 @@
 // PipeLayer/ReGAN organize the chip as many memory banks (Fig. 6 / Fig. 10);
 // consecutive pipeline stages placed in different banks exchange their
 // activations over the chip interconnect, modeled here as a 2-D mesh with
-// per-hop latency/energy and XY routing. The placement optimizer
-// (arch/placement) minimizes this traffic.
+// per-hop latency/energy and XY routing. Two views of the same mesh:
+//
+//  * Closed-form cost queries (hops / transfer_latency_ns /
+//    transfer_energy_pj) price one transfer in isolation — the pre-contention
+//    model, kept bit-exact as the uncontended baseline.
+//  * simulate() is a link-level event model: per-direction link occupancy
+//    timelines, XY-routed serialization, contention queuing when concurrent
+//    transfers share a link, and optional SMART-style single-cycle multi-hop
+//    bypass (straight-line runs collapse to smart_hop_latency_ns when every
+//    link in the run is free at the head's arrival; falls back to per-hop
+//    routing under contention). The placement optimizer (arch/placement)
+//    minimizes simulated per-sample latency against this model.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace reramdl::arch {
 
@@ -16,6 +28,57 @@ struct NocParams {
   double hop_energy_pj_per_byte = 0.8;
   // Link bandwidth per direction, bytes per ns.
   double link_bandwidth_bytes_per_ns = 32.0;
+  // Model link contention in the chip simulator / placement evaluation.
+  // When false (and SMART off) the chip simulator charges the closed-form
+  // uncontended sum, matching the pre-event-model costs bit-exactly.
+  bool contention = false;
+  // SMART bypass: a straight-line run of up to smart_max_hops whose links
+  // are all free when the head arrives collapses to smart_hop_latency_ns
+  // instead of per-hop routing. 0 disables. Enabling SMART implies the
+  // event model (bypass eligibility needs the link timelines).
+  std::size_t smart_max_hops = 0;
+  double smart_hop_latency_ns = 0.4;
+
+  bool event_model_active() const { return contention || smart_max_hops > 0; }
+};
+
+// Directed mesh link leaving a router. kEast increases the column.
+enum class LinkDir : unsigned char { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+
+// One transfer offered to the event model. `dep` (an index into the same
+// request vector, < this request's index) must complete before this transfer
+// can inject — expressing per-sample activation chains.
+struct NocTransferRequest {
+  std::size_t from = 0, to = 0;
+  std::size_t bytes = 0;
+  double ready_ns = 0.0;
+  std::ptrdiff_t dep = -1;
+};
+
+struct NocTransferTiming {
+  double start_ns = 0.0;  // injection time (deps and ready resolved)
+  double done_ns = 0.0;   // tail delivered at the destination
+  double queue_ns = 0.0;  // waiting on busy links along the route
+  std::size_t hops = 0;
+  std::size_t smart_hops = 0;  // hops covered by collapsed bypass runs
+};
+
+struct NocLinkStats {
+  double busy_ns = 0.0;       // serialization occupancy (never overlapping)
+  std::size_t transfers = 0;  // packets that crossed this link
+};
+
+struct NocSimReport {
+  std::vector<NocTransferTiming> transfers;
+  double makespan_ns = 0.0;  // last tail delivery over all transfers
+  double queue_ns = 0.0;     // summed contention waits
+  std::size_t hops_total = 0;
+  std::size_t smart_hops_total = 0;
+  std::size_t smart_segments = 0;  // straight runs collapsed by SMART
+  std::vector<NocLinkStats> links;  // indexed node * 4 + LinkDir
+
+  // Busiest link's occupancy over the makespan; <= 1 by construction.
+  double max_link_utilization() const;
 };
 
 class MeshNoc {
@@ -32,11 +95,27 @@ class MeshNoc {
   std::size_t hops(std::size_t from_bank, std::size_t to_bank) const;
 
   // Cost of moving `bytes` from one bank to another: serialization on the
-  // narrowest link plus per-hop latency.
+  // narrowest link plus per-hop latency. Uncontended closed form.
   double transfer_latency_ns(std::size_t from_bank, std::size_t to_bank,
                              std::size_t bytes) const;
   double transfer_energy_pj(std::size_t from_bank, std::size_t to_bank,
                             std::size_t bytes) const;
+
+  // Directed links: 4 per router (indexed node * 4 + LinkDir), a link being
+  // the wire leaving `node` in that direction (edge routers own dangling
+  // indices that no XY route ever uses).
+  std::size_t num_links() const { return num_banks() * 4; }
+  std::size_t link_index(std::size_t node, LinkDir dir) const;
+  // "link<r>_<c>_<E|W|S|N>" — the obs attribution leaf name.
+  std::string link_name(std::size_t link) const;
+
+  // Link-level event model over one batch of transfers. Requests are
+  // injected in virtual-time order (ready after deps, id as tie-break), XY
+  // routed (columns first), each link holding the packet for its
+  // serialization time — so concurrent transfers sharing a link serialize
+  // while disjoint routes overlap. SMART bypass per params(). Entirely
+  // serial and pure: identical output for any RERAMDL_THREADS.
+  NocSimReport simulate(const std::vector<NocTransferRequest>& requests) const;
 
   const NocParams& params() const { return params_; }
 

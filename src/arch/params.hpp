@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "arch/noc.hpp"
 #include "device/reram_cell.hpp"
 
 namespace reramdl::arch {
@@ -67,6 +68,9 @@ struct ChipConfig {
 
   ComponentCosts costs;
   device::CellParams cell;
+  // Inter-bank mesh interconnect (hop costs, link bandwidth, contention /
+  // SMART-bypass knobs). Defaults keep the closed-form uncontended model.
+  NocParams noc;
 
   std::size_t total_compute_arrays() const {
     return banks * morphable_subarrays_per_bank * arrays_per_subarray;

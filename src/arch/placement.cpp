@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace reramdl::arch {
 namespace {
@@ -28,39 +29,71 @@ std::vector<std::size_t> snake_order(const MeshNoc& noc) {
   return order;
 }
 
-}  // namespace
+struct SpanAllocation {
+  std::size_t home = 0;
+  std::vector<std::size_t> spill;  // banks beyond the home, allocation order
+};
 
-namespace {
-
-// Allocate `need` arrays starting at `cursor` in the given bank order,
-// spilling into later banks as required. Returns {home_bank, banks_spanned}
-// and leaves `cursor` at the first bank with remaining capacity.
-std::pair<std::size_t, std::size_t> allocate_spanning(
-    std::size_t need, std::size_t capacity,
-    const std::vector<std::size_t>& order, std::size_t& cursor,
-    std::vector<std::size_t>& arrays_per_bank) {
-  while (arrays_per_bank[order[cursor]] >= capacity) {
+// Allocate `need` arrays spilling forward through `order`, starting at the
+// first bank (at or after `cursor`) that can hold the whole layer — packing
+// a layer against another layer's leftover space would spill it across one
+// extra bank, and every spill bank pays partial-sum gather traffic per
+// sample, a far steeper price than a temporarily stranded bank fraction. A
+// layer bigger than a bank prefers the first untouched bank (minimal spill
+// count). When no such bank exists (chip nearly full) it falls back to
+// packing from `cursor`; leftovers stay reachable because `cursor` only
+// advances past completely full banks.
+SpanAllocation allocate_spanning(std::size_t need, std::size_t capacity,
+                                 const std::vector<std::size_t>& order,
+                                 std::size_t& cursor,
+                                 std::vector<std::size_t>& arrays_per_bank) {
+  while (cursor < order.size() && arrays_per_bank[order[cursor]] >= capacity)
     ++cursor;
-    RERAMDL_CHECK_LT(cursor, order.size());
+  RERAMDL_CHECK_LT(cursor, order.size());
+
+  std::size_t home_pos = cursor;
+  {
+    std::size_t p = cursor;
+    if (need <= capacity) {
+      while (p < order.size() && capacity - arrays_per_bank[order[p]] < need)
+        ++p;
+    } else {
+      while (p < order.size() && arrays_per_bank[order[p]] != 0) ++p;
+    }
+    if (p < order.size()) home_pos = p;
   }
-  const std::size_t home = order[cursor];
-  std::size_t spanned = 0;
-  std::size_t pos = cursor;
+
+  SpanAllocation alloc;
+  alloc.home = order[home_pos];
+  std::size_t pos = home_pos;
+  bool wrapped = false;  // retried the leftovers skipped before home_pos
   while (need > 0) {
-    RERAMDL_CHECK_LT(pos, order.size());
+    if (!wrapped && pos >= order.size()) {
+      wrapped = true;
+      pos = cursor;
+    }
+    RERAMDL_CHECK(wrapped ? pos < home_pos : pos < order.size());
     const std::size_t bank = order[pos];
     const std::size_t free = capacity - arrays_per_bank[bank];
     const std::size_t take = std::min(free, need);
     if (take > 0) {
       arrays_per_bank[bank] += take;
       need -= take;
-      ++spanned;
+      if (bank != alloc.home) alloc.spill.push_back(bank);
     }
     if (need > 0) ++pos;
   }
-  cursor = arrays_per_bank[order[pos]] < capacity ? pos : pos + 1;
-  if (cursor >= order.size()) cursor = order.size() - 1;
-  return {home, spanned};
+  return alloc;
+}
+
+void push_allocation(Placement& p, SpanAllocation alloc) {
+  p.bank.push_back(alloc.home);
+  p.spans.push_back(1 + alloc.spill.size());
+  p.spill.push_back(std::move(alloc.spill));
+}
+
+const std::vector<std::size_t>* spill_of(const Placement& p, std::size_t i) {
+  return i < p.spill.size() ? &p.spill[i] : nullptr;
 }
 
 }  // namespace
@@ -75,15 +108,13 @@ Placement place_snake(const mapping::NetworkMapping& mapping,
   Placement p;
   p.bank.reserve(mapping.layers.size());
   p.spans.reserve(mapping.layers.size());
+  p.spill.reserve(mapping.layers.size());
   p.arrays_per_bank.assign(noc.num_banks(), 0);
 
   std::size_t cursor = 0;  // index into snake order
-  for (const auto& layer : mapping.layers) {
-    const auto [home, spanned] = allocate_spanning(
-        layer.arrays(), capacity, order, cursor, p.arrays_per_bank);
-    p.bank.push_back(home);
-    p.spans.push_back(spanned);
-  }
+  for (const auto& layer : mapping.layers)
+    push_allocation(p, allocate_spanning(layer.arrays(), capacity, order,
+                                         cursor, p.arrays_per_bank));
   return p;
 }
 
@@ -107,13 +138,25 @@ Placement place_scattered(const mapping::NetworkMapping& mapping,
     for (std::size_t i = 0; i < linear.size(); ++i)
       order[i] = (start + i) % linear.size();
     std::size_t cursor = 0;
-    const auto [home, spanned] = allocate_spanning(
-        layer.arrays(), capacity, order, cursor, p.arrays_per_bank);
-    p.bank.push_back(home);
-    p.spans.push_back(spanned);
+    push_allocation(p, allocate_spanning(layer.arrays(), capacity, order,
+                                         cursor, p.arrays_per_bank));
     start = (start + stride) % noc.num_banks();
   }
   return p;
+}
+
+std::size_t gather_bytes_per_spill_bank(const mapping::LayerMapping& layer,
+                                        std::size_t spans) {
+  RERAMDL_CHECK_GT(spans, 0u);
+  const std::size_t bytes_out = 4 * layer.spec.out_size();
+  const std::size_t share = (bytes_out + spans - 1) / spans;
+  // Banks accumulate their local partial sums before shipping, so each
+  // spill bank sends roughly its share of the output elements: replicas and
+  // column tiles are disjoint output slices, and row-tiled partials reduce
+  // to one local partial per touched element. Row-split layers ship at
+  // double width — partial sums travel at accumulator precision, not
+  // activation width, and only the home bank can finish the reduction.
+  return layer.row_tiles > 1 ? 2 * share : share;
 }
 
 PlacementCost evaluate_placement(const Placement& placement,
@@ -121,17 +164,147 @@ PlacementCost evaluate_placement(const Placement& placement,
                                  const MeshNoc& noc) {
   RERAMDL_CHECK_EQ(placement.bank.size(), mapping.layers.size());
   PlacementCost cost;
-  for (std::size_t i = 0; i + 1 < mapping.layers.size(); ++i) {
-    const std::size_t from = placement.bank[i];
-    const std::size_t to = placement.bank[i + 1];
-    const std::size_t bytes = 4 * mapping.layers[i].spec.out_size();
-    cost.total_hops += noc.hops(from, to);
-    cost.transfer_ns_per_sample += noc.transfer_latency_ns(from, to, bytes);
-    cost.transfer_pj_per_sample += noc.transfer_energy_pj(from, to, bytes);
+  for (std::size_t i = 0; i < mapping.layers.size(); ++i) {
+    const std::size_t home = placement.bank[i];
+    // Intra-layer partial-sum collection: each spill bank ships its share
+    // back to the layer's home before the output can move on.
+    if (const auto* spill = spill_of(placement, i); spill && !spill->empty()) {
+      const std::size_t gbytes =
+          gather_bytes_per_spill_bank(mapping.layers[i], 1 + spill->size());
+      for (const std::size_t from : *spill) {
+        cost.total_hops += noc.hops(from, home);
+        const double ns = noc.transfer_latency_ns(from, home, gbytes);
+        cost.gather_ns_per_sample += ns;
+        cost.transfer_ns_per_sample += ns;
+        cost.transfer_pj_per_sample += noc.transfer_energy_pj(from, home, gbytes);
+      }
+    }
+    // Inter-layer activation transfer to the next layer's home bank.
+    if (i + 1 < mapping.layers.size()) {
+      const std::size_t to = placement.bank[i + 1];
+      const std::size_t bytes = 4 * mapping.layers[i].spec.out_size();
+      cost.total_hops += noc.hops(home, to);
+      cost.transfer_ns_per_sample += noc.transfer_latency_ns(home, to, bytes);
+      cost.transfer_pj_per_sample += noc.transfer_energy_pj(home, to, bytes);
+    }
   }
   std::set<std::size_t> used(placement.bank.begin(), placement.bank.end());
   cost.banks_used = used.size();
   return cost;
+}
+
+std::vector<NocTransferRequest> sample_transfers(
+    const Placement& placement, const mapping::NetworkMapping& mapping,
+    std::size_t samples) {
+  RERAMDL_CHECK_EQ(placement.bank.size(), mapping.layers.size());
+  std::vector<NocTransferRequest> reqs;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::ptrdiff_t prev = -1;
+    for (std::size_t i = 0; i < mapping.layers.size(); ++i) {
+      const std::size_t home = placement.bank[i];
+      if (const auto* spill = spill_of(placement, i);
+          spill && !spill->empty()) {
+        const std::size_t gbytes =
+            gather_bytes_per_spill_bank(mapping.layers[i], 1 + spill->size());
+        for (const std::size_t from : *spill) {
+          reqs.push_back({from, home, gbytes, 0.0, prev});
+          prev = static_cast<std::ptrdiff_t>(reqs.size()) - 1;
+        }
+      }
+      if (i + 1 < mapping.layers.size()) {
+        reqs.push_back({home, placement.bank[i + 1],
+                        4 * mapping.layers[i].spec.out_size(), 0.0, prev});
+        prev = static_cast<std::ptrdiff_t>(reqs.size()) - 1;
+      }
+    }
+  }
+  return reqs;
+}
+
+namespace {
+
+// Search state over the snake seed: a bank relabeling permutation (pairwise
+// swaps exchange two mesh nodes' full contents) plus, per layer, which of
+// its occupied banks acts as the home (spill re-homing).
+struct SearchState {
+  std::vector<std::size_t> relabel;      // relabel[seed_bank] = mesh bank
+  std::vector<std::size_t> home_choice;  // index into the occupied-bank list
+};
+
+Placement apply_state(const Placement& seed, const SearchState& state) {
+  Placement p;
+  p.bank.resize(seed.bank.size());
+  p.spans = seed.spans;
+  p.spill.resize(seed.spill.size());
+  p.arrays_per_bank.assign(seed.arrays_per_bank.size(), 0);
+  for (std::size_t b = 0; b < seed.arrays_per_bank.size(); ++b)
+    p.arrays_per_bank[state.relabel[b]] = seed.arrays_per_bank[b];
+  for (std::size_t i = 0; i < seed.bank.size(); ++i) {
+    std::vector<std::size_t> occupied;
+    occupied.reserve(1 + seed.spill[i].size());
+    occupied.push_back(state.relabel[seed.bank[i]]);
+    for (const std::size_t b : seed.spill[i])
+      occupied.push_back(state.relabel[b]);
+    const std::size_t home_idx = state.home_choice[i];
+    p.bank[i] = occupied[home_idx];
+    p.spill[i].clear();
+    for (std::size_t k = 0; k < occupied.size(); ++k)
+      if (k != home_idx) p.spill[i].push_back(occupied[k]);
+  }
+  return p;
+}
+
+}  // namespace
+
+Placement place_optimized(const mapping::NetworkMapping& mapping,
+                          const ChipConfig& chip, const MeshNoc& noc,
+                          const PlacementSearchOptions& options) {
+  const Placement seed = place_snake(mapping, chip, noc);
+  RERAMDL_CHECK_GT(options.pipeline_samples, 0u);
+
+  SearchState state;
+  state.relabel.resize(noc.num_banks());
+  for (std::size_t b = 0; b < noc.num_banks(); ++b) state.relabel[b] = b;
+  state.home_choice.assign(seed.bank.size(), 0);
+  std::vector<std::size_t> spilled;  // layers eligible for re-homing
+  for (std::size_t i = 0; i < seed.spill.size(); ++i)
+    if (!seed.spill[i].empty()) spilled.push_back(i);
+
+  const auto cost_of = [&](const Placement& p) {
+    return noc.simulate(sample_transfers(p, mapping, options.pipeline_samples))
+        .makespan_ns;
+  };
+
+  Placement best = apply_state(seed, state);
+  double best_cost = cost_of(best);
+
+  Rng rng(options.seed);
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    SearchState cand = state;
+    // 1-in-4 moves re-home a spilled layer (when any exist); the rest swap
+    // two mesh nodes' contents.
+    const bool rehome = !spilled.empty() && rng.uniform_index(4) == 0;
+    if (rehome) {
+      const std::size_t layer = spilled[rng.uniform_index(spilled.size())];
+      const std::size_t choices = 1 + seed.spill[layer].size();
+      const std::size_t pick = rng.uniform_index(choices);
+      if (pick == cand.home_choice[layer]) continue;
+      cand.home_choice[layer] = pick;
+    } else {
+      const std::size_t a = rng.uniform_index(noc.num_banks());
+      const std::size_t b = rng.uniform_index(noc.num_banks());
+      if (a == b) continue;
+      std::swap(cand.relabel[a], cand.relabel[b]);
+    }
+    Placement cand_p = apply_state(seed, cand);
+    const double cand_cost = cost_of(cand_p);
+    if (cand_cost < best_cost) {
+      state = std::move(cand);
+      best = std::move(cand_p);
+      best_cost = cand_cost;
+    }
+  }
+  return best;
 }
 
 }  // namespace reramdl::arch

@@ -2,13 +2,17 @@
 //
 // A mapped network's layers must be assigned to banks whose morphable
 // subarrays can hold their arrays; consecutive layers in different banks pay
-// interconnect cost for every sample's activations. The snake placement
-// walks the mesh so that consecutive layers land in the same or adjacent
-// banks, which is what makes the inter-layer pipeline's cycle time
-// insensitive to chip scale.
+// interconnect cost for every sample's activations, and a layer spilled
+// across several banks additionally pays partial-sum collection traffic from
+// its spill banks back to its home bank. The snake placement walks the mesh
+// so that consecutive layers land in the same or adjacent banks; the
+// optimized placement refines it with a deterministic seeded local search
+// (pairwise bank swaps + spill re-homing) against the link-level NoC event
+// model (arch/noc simulate()).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "arch/noc.hpp"
@@ -19,18 +23,24 @@ namespace reramdl::arch {
 
 struct Placement {
   // bank[i] = home bank of weighted layer i (the bank holding its first
-  // array chunk; large layers spill into subsequent banks).
+  // array chunk and accumulating its partial sums; large layers spill into
+  // further banks).
   std::vector<std::size_t> bank;
   // spans[i] = number of banks layer i occupies (1 when it fits its home).
   std::vector<std::size_t> spans;
+  // spill[i] = the banks beyond the home holding layer i's overflow arrays,
+  // in allocation order (empty when spans[i] == 1).
+  std::vector<std::vector<std::size_t>> spill;
   // Arrays allocated per bank.
   std::vector<std::size_t> arrays_per_bank;
 };
 
 struct PlacementCost {
-  std::size_t total_hops = 0;      // sum over adjacent layer pairs
-  double transfer_ns_per_sample = 0.0;
+  std::size_t total_hops = 0;  // adjacent pairs + spill gathers
+  double transfer_ns_per_sample = 0.0;  // includes gather_ns_per_sample
   double transfer_pj_per_sample = 0.0;
+  // Intra-layer partial-sum collection share (spilled layers only).
+  double gather_ns_per_sample = 0.0;
   std::size_t banks_used = 0;
 };
 
@@ -45,11 +55,48 @@ Placement place_snake(const mapping::NetworkMapping& mapping,
 Placement place_scattered(const mapping::NetworkMapping& mapping,
                           const ChipConfig& chip, const MeshNoc& noc);
 
-// Interconnect cost of one sample's forward pass under a placement: each
-// adjacent weighted-layer pair (i, i+1) ships layer i's output activations
-// from bank[i] to bank[i+1].
+struct PlacementSearchOptions {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::size_t iterations = 3000;  // neighborhood moves attempted
+  // In-flight samples the objective pipelines through the event model, so
+  // the search sees link contention between overlapping sample chains.
+  std::size_t pipeline_samples = 4;
+};
+
+// Cost-driven placement: seeded first-improvement local search from the
+// snake seed. Moves: (a) pairwise bank swaps — exchange the full contents of
+// two mesh nodes (capacity-safe since banks are uniform); (b) spill
+// re-homing — promote one of a spilled layer's spill banks to be its home.
+// Objective: simulated makespan of pipeline_samples overlapping forward
+// chains under the mesh's event model (contention + SMART per noc.params()).
+// Entirely serial and seeded: identical result for any RERAMDL_THREADS.
+Placement place_optimized(const mapping::NetworkMapping& mapping,
+                          const ChipConfig& chip, const MeshNoc& noc,
+                          const PlacementSearchOptions& options = {});
+
+// Interconnect cost of one sample's forward pass under a placement, priced
+// with the closed-form (uncontended) per-transfer model: each adjacent
+// weighted-layer pair (i, i+1) ships layer i's output activations from
+// bank[i] to bank[i+1], and each spilled layer first gathers partial sums
+// from its spill banks into its home bank.
 PlacementCost evaluate_placement(const Placement& placement,
                                  const mapping::NetworkMapping& mapping,
                                  const MeshNoc& noc);
+
+// Partial-sum bytes one spill bank of layer i ships to the layer's home
+// bank: the bank's share of the output elements (replicas / column tiles
+// are disjoint slices; row-tiled partials accumulate locally first), at
+// double width for row-split layers since partial sums travel at
+// accumulator precision.
+std::size_t gather_bytes_per_spill_bank(const mapping::LayerMapping& layer,
+                                        std::size_t spans);
+
+// The event-model transfer set of `samples` in-flight forward passes: per
+// sample, each layer's spill gathers followed by its output-activation
+// transfer to the next layer's home, chained by deps within the sample;
+// different samples' chains overlap and contend on shared links.
+std::vector<NocTransferRequest> sample_transfers(
+    const Placement& placement, const mapping::NetworkMapping& mapping,
+    std::size_t samples);
 
 }  // namespace reramdl::arch

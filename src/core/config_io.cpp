@@ -60,6 +60,20 @@ const std::map<std::string, Setter>& setters() {
        [](auto& c, double v) { c.input_bits = static_cast<std::size_t>(v); }},
       {"max_arrays",
        [](auto& c, double v) { c.max_arrays = static_cast<std::size_t>(v); }},
+      {"noc_hop_latency_ns",
+       [](auto& c, double v) { c.chip.noc.hop_latency_ns = v; }},
+      {"noc_hop_energy_pj_per_byte",
+       [](auto& c, double v) { c.chip.noc.hop_energy_pj_per_byte = v; }},
+      {"noc_link_bandwidth_bytes_per_ns",
+       [](auto& c, double v) { c.chip.noc.link_bandwidth_bytes_per_ns = v; }},
+      {"noc_contention",
+       [](auto& c, double v) { c.chip.noc.contention = v != 0.0; }},
+      {"noc_smart_max_hops",
+       [](auto& c, double v) {
+         c.chip.noc.smart_max_hops = static_cast<std::size_t>(v);
+       }},
+      {"noc_smart_hop_latency_ns",
+       [](auto& c, double v) { c.chip.noc.smart_hop_latency_ns = v; }},
   };
   return kSetters;
 }
@@ -131,7 +145,16 @@ std::string dump_config(const AcceleratorConfig& c) {
      << "bits_per_cell = " << c.chip.cell.bits_per_cell << '\n'
      << "weight_bits = " << c.weight_bits << '\n'
      << "input_bits = " << c.input_bits << '\n'
-     << "max_arrays = " << c.max_arrays << '\n';
+     << "max_arrays = " << c.max_arrays << '\n'
+     << "noc_hop_latency_ns = " << c.chip.noc.hop_latency_ns << '\n'
+     << "noc_hop_energy_pj_per_byte = " << c.chip.noc.hop_energy_pj_per_byte
+     << '\n'
+     << "noc_link_bandwidth_bytes_per_ns = "
+     << c.chip.noc.link_bandwidth_bytes_per_ns << '\n'
+     << "noc_contention = " << (c.chip.noc.contention ? 1 : 0) << '\n'
+     << "noc_smart_max_hops = " << c.chip.noc.smart_max_hops << '\n'
+     << "noc_smart_hop_latency_ns = " << c.chip.noc.smart_hop_latency_ns
+     << '\n';
   return os.str();
 }
 

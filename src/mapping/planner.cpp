@@ -26,20 +26,29 @@ NetworkMapping plan_naive(const nn::NetworkSpec& net, const MappingConfig& confi
 
 NetworkMapping plan_balanced(const nn::NetworkSpec& net,
                              const MappingConfig& config,
-                             std::size_t target_steps) {
+                             std::size_t target_steps,
+                             std::size_t max_layer_arrays) {
   RERAMDL_CHECK_GT(target_steps, 0u);
   NetworkMapping m;
   m.config = config;
-  for (const auto& l : net.layers)
-    if (l.is_weighted())
-      m.layers.push_back(
-          map_layer(l, config, replication_for_steps(l, target_steps)));
+  for (const auto& l : net.layers) {
+    if (!l.is_weighted()) continue;
+    std::size_t x = replication_for_steps(l, target_steps);
+    if (max_layer_arrays > 0 && x > 1) {
+      // One replica's array footprint bounds how much replication the
+      // per-layer cap leaves room for.
+      const std::size_t base = map_layer(l, config, 1).arrays();
+      x = std::min(x, std::max<std::size_t>(max_layer_arrays / base, 1));
+    }
+    m.layers.push_back(map_layer(l, config, x));
+  }
   return m;
 }
 
 NetworkMapping plan_under_budget(const nn::NetworkSpec& net,
                                  const MappingConfig& config,
-                                 std::size_t max_arrays) {
+                                 std::size_t max_arrays,
+                                 std::size_t max_layer_arrays) {
   RERAMDL_CHECK_GT(max_arrays, 0u);
   // The largest useful target is the naive plan's stage latency; arrays are
   // non-increasing in target_steps, so binary search the smallest feasible.
@@ -50,7 +59,7 @@ NetworkMapping plan_under_budget(const nn::NetworkSpec& net,
   NetworkMapping best = std::move(naive);
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    NetworkMapping cand = plan_balanced(net, config, mid);
+    NetworkMapping cand = plan_balanced(net, config, mid, max_layer_arrays);
     if (cand.total_arrays() <= max_arrays) {
       best = std::move(cand);
       hi = mid;

@@ -16,16 +16,23 @@ namespace reramdl::mapping {
 NetworkMapping plan_naive(const nn::NetworkSpec& net, const MappingConfig& config);
 
 // Every weighted layer gets X = ceil(vectors_per_sample / target_steps), so
-// steps_per_sample <= target_steps for all stages.
+// steps_per_sample <= target_steps for all stages. A non-zero
+// max_layer_arrays clamps each layer's replication so no single layer
+// exceeds that array count — bounding how many banks a layer can spill
+// across, and therefore its per-sample partial-sum gather traffic (the
+// placement model charges every spill bank; see arch/placement). Layers
+// already above the cap at X = 1 keep X = 1.
 NetworkMapping plan_balanced(const nn::NetworkSpec& net,
                              const MappingConfig& config,
-                             std::size_t target_steps);
+                             std::size_t target_steps,
+                             std::size_t max_layer_arrays = 0);
 
 // Smallest-latency balanced plan with total_arrays <= max_arrays. Falls back
 // to the naive plan if even X = 1 exceeds the budget (the caller can check
-// total_arrays()).
+// total_arrays()). max_layer_arrays as in plan_balanced.
 NetworkMapping plan_under_budget(const nn::NetworkSpec& net,
                                  const MappingConfig& config,
-                                 std::size_t max_arrays);
+                                 std::size_t max_arrays,
+                                 std::size_t max_layer_arrays = 0);
 
 }  // namespace reramdl::mapping

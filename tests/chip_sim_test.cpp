@@ -89,6 +89,63 @@ TEST(ChipSim, MismatchedPlacementRejected) {
   EXPECT_THROW(ChipSimulator(f.chip, f.mapping, bad), CheckError);
 }
 
+TEST(ChipSim, DefaultParamsReproduceClosedFormSum) {
+  // With default NocParams (contention off, SMART off) the simulator must
+  // charge the pre-event-model closed-form sum bit-exactly.
+  ChipFixture f(workload::spec_alexnet());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport r = sim.run_forward_pass();
+  double expected = 0.0;
+  for (std::size_t i = 0; i + 1 < f.mapping.layers.size(); ++i)
+    expected += f.noc.transfer_latency_ns(
+        p.bank[i], p.bank[i + 1], 4 * f.mapping.layers[i].spec.out_size());
+  EXPECT_EQ(r.noc_ns, expected);
+}
+
+TEST(ChipSim, EventModelNocMatchesSimulatedMakespan) {
+  ChipFixture f(workload::spec_alexnet());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  NocParams params;
+  params.contention = true;
+  ChipSimulator sim(f.chip, f.mapping, p, params);
+  const ChipRunReport r = sim.run_forward_pass();
+  const double expected =
+      sim.noc().simulate(sample_transfers(p, f.mapping, 1)).makespan_ns;
+  EXPECT_DOUBLE_EQ(r.noc_ns, expected);
+  // Gather traffic participates in the energy account.
+  EXPECT_GT(r.energy.component_pj("noc"), 0.0);
+}
+
+TEST(ChipSim, ChipConfigCarriesNocParams) {
+  // The 3-arg constructor picks up chip.noc: configuring SMART + contention
+  // there must give the same result as the explicit override.
+  ChipFixture f(workload::spec_alexnet());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  NocParams params;
+  params.contention = true;
+  params.smart_max_hops = 4;
+  ChipConfig with_noc = f.chip;
+  with_noc.noc = params;
+  ChipSimulator from_chip(with_noc, f.mapping, p);
+  ChipSimulator from_override(f.chip, f.mapping, p, params);
+  EXPECT_EQ(from_chip.run_forward_pass().noc_ns,
+            from_override.run_forward_pass().noc_ns);
+}
+
+TEST(ChipSim, SmartBypassReducesEventModelLatency) {
+  ChipFixture f(workload::spec_vgg_a());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  NocParams contended;
+  contended.contention = true;
+  NocParams smart = contended;
+  smart.smart_max_hops = 8;
+  ChipSimulator base(f.chip, f.mapping, p, contended);
+  ChipSimulator bypass(f.chip, f.mapping, p, smart);
+  EXPECT_LE(bypass.run_forward_pass().noc_ns,
+            base.run_forward_pass().noc_ns);
+}
+
 TEST(ChipSim, InstructionCountMatchesLoweringAnalysis) {
   ChipFixture f(workload::spec_mlp_mnist_b(), 4096);
   const Placement p = place_snake(f.mapping, f.chip, f.noc);

@@ -111,6 +111,42 @@ TEST(ConfigIo, MissingFileThrows) {
   EXPECT_THROW(core::load_config("/no/such/config.txt"), CheckError);
 }
 
+TEST(ConfigIo, NocKeysParse) {
+  const auto cfg = core::parse_config(
+      "noc_hop_latency_ns = 2.5\n"
+      "noc_hop_energy_pj_per_byte = 1.25\n"
+      "noc_link_bandwidth_bytes_per_ns = 16\n"
+      "noc_contention = 1\n"
+      "noc_smart_max_hops = 6\n"
+      "noc_smart_hop_latency_ns = 0.25\n");
+  EXPECT_DOUBLE_EQ(cfg.chip.noc.hop_latency_ns, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.chip.noc.hop_energy_pj_per_byte, 1.25);
+  EXPECT_DOUBLE_EQ(cfg.chip.noc.link_bandwidth_bytes_per_ns, 16.0);
+  EXPECT_TRUE(cfg.chip.noc.contention);
+  EXPECT_EQ(cfg.chip.noc.smart_max_hops, 6u);
+  EXPECT_DOUBLE_EQ(cfg.chip.noc.smart_hop_latency_ns, 0.25);
+  EXPECT_TRUE(cfg.chip.noc.event_model_active());
+}
+
+TEST(ConfigIo, NocKeysRoundTripThroughDump) {
+  core::AcceleratorConfig cfg;
+  cfg.chip.noc.hop_latency_ns = 3.0;
+  cfg.chip.noc.link_bandwidth_bytes_per_ns = 64.0;
+  cfg.chip.noc.contention = true;
+  cfg.chip.noc.smart_max_hops = 5;
+  cfg.chip.noc.smart_hop_latency_ns = 0.5;
+  const auto round = core::parse_config(core::dump_config(cfg));
+  EXPECT_DOUBLE_EQ(round.chip.noc.hop_latency_ns, 3.0);
+  EXPECT_DOUBLE_EQ(round.chip.noc.link_bandwidth_bytes_per_ns, 64.0);
+  EXPECT_TRUE(round.chip.noc.contention);
+  EXPECT_EQ(round.chip.noc.smart_max_hops, 5u);
+  EXPECT_DOUBLE_EQ(round.chip.noc.smart_hop_latency_ns, 0.5);
+  // Defaults survive the trip untouched (SMART stays off by default).
+  const auto defaults =
+      core::parse_config(core::dump_config(core::AcceleratorConfig{}));
+  EXPECT_FALSE(defaults.chip.noc.event_model_active());
+}
+
 // ---- Update timing model ----------------------------------------------------
 
 TEST(UpdateModel, RowsCappedByArrayHeight) {

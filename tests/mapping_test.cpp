@@ -188,5 +188,23 @@ TEST(NetworkMapping, ArraySizeTradeoff) {
   EXPECT_GT(small, big);
 }
 
+TEST(Planner, MaxLayerArraysClampsReplication) {
+  const auto net = workload::spec_vgg_a();
+  const auto unbounded = plan_under_budget(net, {128, 128}, 16384);
+  const std::size_t cap = 256;  // one pipelayer bank
+  const auto bounded = plan_under_budget(net, {128, 128}, 16384, cap);
+  ASSERT_EQ(bounded.layers.size(), unbounded.layers.size());
+  std::size_t unbounded_max = 0;
+  for (const auto& l : unbounded.layers)
+    unbounded_max = std::max(unbounded_max, l.arrays());
+  ASSERT_GT(unbounded_max, cap);  // the knob has something to clamp
+  for (const auto& l : bounded.layers) {
+    // Clamped to the cap unless a single replica already exceeds it (then
+    // the layer keeps X = 1).
+    if (l.arrays() > cap) EXPECT_EQ(l.replication, 1u);
+  }
+  EXPECT_LE(bounded.total_arrays(), unbounded.total_arrays());
+}
+
 }  // namespace
 }  // namespace reramdl::mapping

@@ -1,0 +1,204 @@
+// MeshNoc edge cases and the link-level event model (simulate()).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+
+#include "arch/noc.hpp"
+#include "common/check.hpp"
+
+namespace reramdl::arch {
+namespace {
+
+double ser_ns(const NocParams& p, std::size_t bytes) {
+  return static_cast<double>(bytes) / p.link_bandwidth_bytes_per_ns;
+}
+
+TEST(MeshNocShape, FactoryBuildsNonSquareMeshes) {
+  const MeshNoc m60 = make_mesh_for_banks(60);
+  EXPECT_GE(m60.num_banks(), 60u);
+  EXPECT_NE(m60.rows(), m60.cols());
+
+  // A prime bank count degenerates to a single row.
+  const MeshNoc m7 = make_mesh_for_banks(7);
+  EXPECT_EQ(m7.rows(), 1u);
+  EXPECT_EQ(m7.cols(), 7u);
+
+  const MeshNoc m1 = make_mesh_for_banks(1);
+  EXPECT_EQ(m1.num_banks(), 1u);
+  EXPECT_EQ(m1.hops(0, 0), 0u);
+}
+
+TEST(MeshNocShape, SingleRowAndSingleColumnHops) {
+  const MeshNoc row(1, 8, NocParams{});
+  EXPECT_EQ(row.hops(0, 7), 7u);
+  const MeshNoc col(8, 1, NocParams{});
+  EXPECT_EQ(col.hops(0, 7), 7u);
+  EXPECT_GT(col.transfer_latency_ns(0, 7, 64), 0.0);
+}
+
+TEST(MeshNocShape, HopCountIsSymmetric) {
+  const MeshNoc noc(3, 5, NocParams{});
+  for (std::size_t a = 0; a < noc.num_banks(); ++a)
+    for (std::size_t b = 0; b < noc.num_banks(); ++b)
+      EXPECT_EQ(noc.hops(a, b), noc.hops(b, a));
+}
+
+TEST(MeshNocShape, LinkNamesEncodePositionAndDirection) {
+  const MeshNoc noc(2, 3, NocParams{});
+  EXPECT_EQ(noc.link_name(noc.link_index(0, LinkDir::kEast)), "link0_0_E");
+  EXPECT_EQ(noc.link_name(noc.link_index(4, LinkDir::kNorth)), "link1_1_N");
+  EXPECT_EQ(noc.num_links(), 4 * noc.num_banks());
+}
+
+// ---- Event model -------------------------------------------------------------
+
+TEST(NocSim, SameBankTransferIsInstant) {
+  const MeshNoc noc(2, 2, NocParams{});
+  const auto rep = noc.simulate({{1, 1, 4096, 3.0, -1}});
+  EXPECT_DOUBLE_EQ(rep.transfers[0].start_ns, 3.0);
+  EXPECT_DOUBLE_EQ(rep.transfers[0].done_ns, 3.0);
+  EXPECT_EQ(rep.hops_total, 0u);
+}
+
+TEST(NocSim, LoneTransferMatchesClosedForm) {
+  NocParams p;
+  p.contention = true;
+  const MeshNoc noc(4, 4, p);
+  // One transfer can never contend, so the event model reproduces the
+  // closed-form cost exactly — for straight and for L-shaped XY routes.
+  const std::pair<std::size_t, std::size_t> cases[] = {
+      {0, 3}, {0, 12}, {0, 15}, {15, 0}, {5, 10}};
+  for (const auto& [from, to] : cases) {
+    const auto rep = noc.simulate({{from, to, 1024, 0.0, -1}});
+    EXPECT_DOUBLE_EQ(rep.makespan_ns, noc.transfer_latency_ns(from, to, 1024))
+        << from << "->" << to;
+    EXPECT_EQ(rep.transfers[0].hops, noc.hops(from, to));
+    EXPECT_DOUBLE_EQ(rep.queue_ns, 0.0);
+  }
+}
+
+TEST(NocSim, SharedLinkSerializesTransfers) {
+  NocParams p;
+  p.contention = true;
+  const MeshNoc noc(2, 2, p);
+  const std::size_t bytes = 3200;
+  const double ser = ser_ns(p, bytes);
+  const auto rep =
+      noc.simulate({{0, 1, bytes, 0.0, -1}, {0, 1, bytes, 0.0, -1}});
+  // The second transfer queues behind the first on node 0's east link.
+  EXPECT_DOUBLE_EQ(rep.transfers[0].done_ns, p.hop_latency_ns + ser);
+  EXPECT_DOUBLE_EQ(rep.transfers[1].queue_ns, ser);
+  EXPECT_DOUBLE_EQ(rep.transfers[1].done_ns, ser + p.hop_latency_ns + ser);
+  EXPECT_DOUBLE_EQ(rep.makespan_ns, rep.transfers[1].done_ns);
+}
+
+TEST(NocSim, DisjointRoutesOverlap) {
+  NocParams p;
+  p.contention = true;
+  const MeshNoc noc(2, 2, p);
+  const std::size_t bytes = 3200;
+  // 0->1 (row 0 east) and 2->3 (row 1 east) share no link: both finish as
+  // if alone, so the makespan equals the lone-transfer latency.
+  const auto rep =
+      noc.simulate({{0, 1, bytes, 0.0, -1}, {2, 3, bytes, 0.0, -1}});
+  EXPECT_DOUBLE_EQ(rep.makespan_ns, noc.transfer_latency_ns(0, 1, bytes));
+  EXPECT_DOUBLE_EQ(rep.queue_ns, 0.0);
+}
+
+TEST(NocSim, DependencyChainsSequence) {
+  NocParams p;
+  p.contention = true;
+  const MeshNoc noc(1, 4, p);
+  const auto rep = noc.simulate({{0, 1, 640, 0.0, -1},
+                                 {1, 2, 640, 0.0, 0},
+                                 {2, 3, 640, 0.0, 1}});
+  EXPECT_DOUBLE_EQ(rep.transfers[1].start_ns, rep.transfers[0].done_ns);
+  EXPECT_DOUBLE_EQ(rep.transfers[2].start_ns, rep.transfers[1].done_ns);
+  EXPECT_DOUBLE_EQ(rep.makespan_ns, rep.transfers[2].done_ns);
+}
+
+TEST(NocSim, SmartBypassCollapsesFreeStraightRun) {
+  NocParams p;
+  p.smart_max_hops = 8;
+  const MeshNoc noc(1, 8, p);
+  const std::size_t bytes = 320;
+  const auto rep = noc.simulate({{0, 7, bytes, 0.0, -1}});
+  // All 7 hops collapse into one bypass segment.
+  EXPECT_EQ(rep.smart_segments, 1u);
+  EXPECT_EQ(rep.smart_hops_total, 7u);
+  EXPECT_DOUBLE_EQ(rep.makespan_ns, p.smart_hop_latency_ns + ser_ns(p, bytes));
+  EXPECT_LT(rep.makespan_ns, noc.transfer_latency_ns(0, 7, bytes));
+}
+
+TEST(NocSim, SmartBypassChunksAtMaxHops) {
+  NocParams p;
+  p.smart_max_hops = 3;
+  const MeshNoc noc(1, 8, p);
+  const auto rep = noc.simulate({{0, 7, 320, 0.0, -1}});
+  // 7 hops at max 3 per segment: 3 + 3 + 1, the trailing single hop routed
+  // normally (no intermediate router to skip).
+  EXPECT_EQ(rep.smart_segments, 2u);
+  EXPECT_EQ(rep.smart_hops_total, 6u);
+  EXPECT_DOUBLE_EQ(
+      rep.makespan_ns,
+      2.0 * p.smart_hop_latency_ns + p.hop_latency_ns + ser_ns(p, 320));
+}
+
+TEST(NocSim, SmartFallsBackUnderContention) {
+  NocParams p;
+  p.contention = true;
+  p.smart_max_hops = 8;
+  const MeshNoc noc(1, 8, p);
+  const std::size_t bytes = 3200;
+  const auto rep =
+      noc.simulate({{0, 7, bytes, 0.0, -1}, {0, 7, bytes, 0.0, -1}});
+  // The first transfer bypasses; the second finds the links busy and must
+  // queue (per-hop) at least on the first link.
+  EXPECT_EQ(rep.transfers[0].smart_hops, 7u);
+  EXPECT_GT(rep.transfers[1].queue_ns, 0.0);
+  EXPECT_GT(rep.transfers[1].done_ns, rep.transfers[0].done_ns);
+}
+
+TEST(NocSim, LinkStatsAndUtilizationBounded) {
+  NocParams p;
+  p.contention = true;
+  const MeshNoc noc(2, 2, p);
+  const auto rep = noc.simulate({{0, 1, 6400, 0.0, -1},
+                                 {0, 1, 6400, 0.0, -1},
+                                 {2, 3, 6400, 0.0, -1}});
+  const std::size_t east0 = noc.link_index(0, LinkDir::kEast);
+  EXPECT_EQ(rep.links[east0].transfers, 2u);
+  EXPECT_DOUBLE_EQ(rep.links[east0].busy_ns, 2.0 * ser_ns(p, 6400));
+  EXPECT_GT(rep.max_link_utilization(), 0.0);
+  EXPECT_LE(rep.max_link_utilization(), 1.0);
+}
+
+TEST(NocSim, RepeatRunsAreBitIdentical) {
+  NocParams p;
+  p.contention = true;
+  p.smart_max_hops = 4;
+  const MeshNoc noc(3, 3, p);
+  std::vector<NocTransferRequest> reqs;
+  for (std::size_t i = 0; i < 9; ++i)
+    reqs.push_back({i % 9, (i * 5 + 2) % 9, 128 * (i + 1), 0.0,
+                    i >= 3 ? static_cast<std::ptrdiff_t>(i - 3) : -1});
+  const auto a = noc.simulate(reqs);
+  const auto b = noc.simulate(reqs);
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  EXPECT_EQ(std::memcmp(a.transfers.data(), b.transfers.data(),
+                        a.transfers.size() * sizeof(NocTransferTiming)),
+            0);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.queue_ns, b.queue_ns);
+}
+
+TEST(NocSim, InvalidRequestsThrow) {
+  const MeshNoc noc(2, 2, NocParams{});
+  EXPECT_THROW(noc.simulate({{0, 9, 64, 0.0, -1}}), CheckError);
+  // A dep must point at an earlier request.
+  EXPECT_THROW(noc.simulate({{0, 1, 64, 0.0, 0}}), CheckError);
+}
+
+}  // namespace
+}  // namespace reramdl::arch

@@ -30,6 +30,11 @@ Each FILE is classified by its content and validated accordingly:
     completed + rejected + shed, nothing queued), non-empty per-tenant
     attribution, and the deterministic contract booleans (reproducible
     replay, >= 2x virtual batching speedup) all true.
+  - NoC benches ("bench" == "noc"): placement x noc-model variant grid per
+    workload with per-link utilization in [0, 1], bit-exact legacy noc_ns
+    (default-params ChipSimulator == closed-form sum), and the contract
+    booleans (optimized+SMART beats snake baseline, thread invariance) all
+    true.
   - BENCH_*.json ("bench" key): schema_version, kernels with parallel
     time/speedup arrays.
 
@@ -453,6 +458,71 @@ def validate_serving(path, doc):
           f"{doc['speedup_dynamic_over_serial_virtual']:.2f}x virtual)")
 
 
+def validate_noc(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("quick"), bool), path, "bad quick flag")
+    for key in ("pipeline_samples", "search_iterations"):
+        require(isinstance(doc.get(key), int) and doc[key] > 0, path,
+                f"bad {key}")
+    threads = doc.get("threads")
+    require(isinstance(threads, list) and threads, path, "missing threads")
+    # Contract gates: the search win, legacy bit-exactness, physically sane
+    # link loads, and thread-count invariance are all deterministic.
+    for key in ("optimized_smart_beats_snake_baseline", "legacy_bit_exact",
+                "utilization_bounded", "thread_invariant"):
+        require(doc.get(key) is True, path, f"contract violated: {key}")
+    workloads = doc.get("workloads")
+    require(isinstance(workloads, list) and workloads, path,
+            "missing workloads")
+    placements = {"scattered", "snake", "optimized"}
+    models = {"baseline", "contention", "contention_smart"}
+    for w in workloads:
+        name = w.get("name")
+        require(isinstance(name, str), path, "workload missing name")
+        require(isinstance(w.get("spilled_layers"), int) and
+                w["spilled_layers"] >= 0, path, f"{name} bad spilled_layers")
+        for key in ("snake_baseline_ns", "optimized_smart_ns",
+                    "chip_noc_ns_default", "chip_noc_ns_expected"):
+            require(is_num(w.get(key)) and w[key] > 0, path,
+                    f"{name} bad {key}")
+        require(w["optimized_smart_ns"] < w["snake_baseline_ns"], path,
+                f"{name} optimized+SMART not below snake baseline")
+        # The default-params ChipSimulator must reproduce the pre-event-model
+        # closed-form sum to the last bit.
+        require(w["chip_noc_ns_default"] == w["chip_noc_ns_expected"], path,
+                f"{name} legacy noc_ns not bit-exact")
+        require(w.get("legacy_bit_exact") is True, path,
+                f"{name} legacy_bit_exact not set")
+        variants = w.get("variants")
+        require(isinstance(variants, list) and
+                len(variants) == len(placements) * len(models), path,
+                f"{name} expected {len(placements) * len(models)} variants")
+        for v in variants:
+            who = f"{name} {v.get('placement')}/{v.get('noc_model')}"
+            require(v.get("placement") in placements, path,
+                    f"{who} unknown placement")
+            require(v.get("noc_model") in models, path,
+                    f"{who} unknown noc model")
+            require(is_num(v.get("per_sample_ns")) and v["per_sample_ns"] > 0,
+                    path, f"{who} bad per_sample_ns")
+            require(is_num(v.get("queue_ns")) and v["queue_ns"] >= 0, path,
+                    f"{who} bad queue_ns")
+            util = v.get("max_link_utilization")
+            require(is_num(util) and 0.0 <= util <= 1.0 + 1e-12, path,
+                    f"{who} link utilization out of [0, 1]")
+            require(isinstance(v.get("smart_segments"), int) and
+                    v["smart_segments"] >= 0, path,
+                    f"{who} bad smart_segments")
+            if v["noc_model"] == "baseline":
+                require(v["queue_ns"] == 0 and util == 0, path,
+                        f"{who} baseline must be uncontended")
+            if v["noc_model"] != "contention_smart":
+                require(v["smart_segments"] == 0, path,
+                        f"{who} smart segments without SMART enabled")
+    print(f"{path}: noc ok ({len(workloads)} workloads, "
+          f"{len(workloads[0]['variants'])} variants each)")
+
+
 def validate_bench(path, doc):
     require(doc.get("schema_version") == 1, path, "bad schema_version")
     require(isinstance(doc.get("bench"), str), path, "missing bench name")
@@ -506,6 +576,8 @@ def main(argv):
             validate_sparse_mvm(path, doc)
         elif doc.get("bench") == "serving":
             validate_serving(path, doc)
+        elif doc.get("bench") == "noc":
+            validate_noc(path, doc)
         elif "bench" in doc:
             validate_bench(path, doc)
         else:
