@@ -1,0 +1,402 @@
+// Lifetime maintenance campaign: the Table-1 LeNet inference workload aged
+// over a compressed device lifetime — conductance drift on every tile's own
+// clock, transient bit-flip showers landing at every life epoch, and stuck-at
+// cells absorbed at programming — while a synthetic demand stream keeps the
+// chip busy. Four configurations run the identical aging schedule:
+//
+//   off         no maintenance: drift and flips accumulate unrepaired
+//   idle_only   repairs squeezed into gaps between demand launches
+//   fixed_slot  recurring reserved windows; demand inside a window defers
+//   urgency     idle gaps plus deadline-expired repairs that preempt demand
+//
+// The engine's repairs flow through the PR-5 write-verify path with the same
+// campaign seed, so every configuration (and every thread count) sees the
+// same fault populations. The bench asserts four contracts and exits
+// non-zero if any fails:
+//   * end-of-life accuracy without maintenance collapses below 90% of the
+//     fresh crossbar accuracy;
+//   * every maintenance policy retains >= 90% of fresh accuracy at the same
+//     end of life;
+//   * idle_only never delays a demand launch, and no policy inflates the
+//     demand makespan by more than 25%;
+//   * the urgency lifetime is bit-identical (action digest and output
+//     digest) for RERAMDL_THREADS in {1, 4, 8}.
+//
+// Flags:
+//   --quick     fewer life epochs + smaller training run (CI smoke)
+//   --out=PATH  JSON output path (default BENCH_maintenance.json)
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/functional.hpp"
+#include "maint/engine.hpp"
+#include "nn/trainer.hpp"
+#include "obs/json_writer.hpp"
+#include "workload/datasets.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace reramdl;
+
+constexpr std::uint64_t kSeed = 0x11fe71e5ULL;
+constexpr double kRetentionBar = 0.90;   // fraction of fresh accuracy
+constexpr double kCostBar = 0.25;        // max demand-makespan inflation
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t tensor_digest(const Tensor& t) {
+  return fnv1a(t.data(), t.numel() * sizeof(float), 0xcbf29ce484222325ULL);
+}
+
+struct TrainedModel {
+  nn::Sequential net;
+  workload::Dataset test;
+  double float_acc = 0.0;
+};
+
+TrainedModel train_reference(bool quick) {
+  TrainedModel m;
+  Rng rng(1200);
+  m.net = workload::make_lenet_small(rng);
+  nn::Sgd opt(m.net.params(), 0.05f, 0.9f);
+  nn::Trainer trainer(m.net, opt);
+  Rng data_rng(1201);
+  workload::DatasetConfig dc;
+  dc.noise = 0.6f;
+  const std::size_t samples = quick ? 256 : 512;
+  const auto train = workload::make_classification(samples, dc, data_rng);
+  m.test = workload::make_classification(samples, dc, data_rng);
+  const int epochs = quick ? 3 : 5;
+  for (int epoch = 0; epoch < epochs; ++epoch)
+    trainer.train_epoch(train.images, train.labels, 16, rng);
+  nn::Trainer eval(m.net, opt);
+  m.float_acc = eval.evaluate(m.test.images, m.test.labels, 64).accuracy;
+  return m;
+}
+
+// Lifetime schedule shared by every configuration. Virtual time runs in µs;
+// seconds_per_us compresses device seconds onto it so the whole lifetime
+// fits a short replay. Retention has a late knee (t0 = 1e5 s): a tile
+// refreshed inside refresh_age_s never drifts at all, while an unmaintained
+// tile sails past the knee and decays on the power law.
+struct LifeSpec {
+  std::size_t epochs = 12;              // life epochs (one flip shower each)
+  std::uint64_t epoch_us = 2000;        // virtual µs per life epoch
+  std::uint64_t demand_period_us = 400; // launch cadence within an epoch
+  std::uint64_t demand_service_us = 150;
+  double seconds_per_us = 50.0;         // 2000 µs epoch = 1e5 device seconds
+  double drift_nu = 0.25;
+  double t0_seconds = 1e5;
+  double refresh_age_s = 5e4;           // refresh well before the knee
+  double scrub_interval_s = 5e4;        // two scrubs per life epoch
+  double flip_rate = 2e-4;              // transient shower rate per epoch
+  double stuck_rate = 1e-3;             // manufacturing stuck-at rate
+};
+
+struct MaintSpec {
+  std::string name;
+  bool enabled = false;
+  maint::Policy policy = maint::Policy::kIdleOnly;
+};
+
+std::vector<MaintSpec> configurations() {
+  return {{"off", false, maint::Policy::kIdleOnly},
+          {"idle_only", true, maint::Policy::kIdleOnly},
+          {"fixed_slot", true, maint::Policy::kFixedSlot},
+          {"urgency", true, maint::Policy::kUrgency}};
+}
+
+core::AcceleratorConfig make_config() {
+  core::AcceleratorConfig cfg;
+  cfg.chip = arch::pipelayer_chip();
+  cfg.spare_cols = 8;
+  return cfg;
+}
+
+circuit::ProgramOptions make_options(const LifeSpec& life) {
+  circuit::ProgramOptions opts;
+  opts.faults.stuck_at_off_rate = life.stuck_rate * 0.5;
+  opts.faults.stuck_at_on_rate = life.stuck_rate * 0.5;
+  opts.faults.transient_flip_rate = life.flip_rate;
+  opts.faults.seed = kSeed;
+  opts.write_verify = true;
+  opts.defect_threshold = 1.5;
+  opts.degrade = circuit::DegradePolicy::kClamp;
+  return opts;
+}
+
+maint::MaintenanceConfig make_engine_config(const MaintSpec& spec,
+                                            const LifeSpec& life) {
+  maint::MaintenanceConfig cfg;
+  cfg.policy = spec.policy;
+  cfg.drift_refresh = spec.enabled;
+  cfg.scrub = spec.enabled;
+  cfg.wear_level = spec.enabled;
+  cfg.seconds_per_us = life.seconds_per_us;
+  cfg.drift_epoch_us = 500;  // coarse: each step rebuilds every tile's W_eff
+  cfg.refresh_age_s = life.refresh_age_s;
+  cfg.scrub_interval_s = life.scrub_interval_s;
+  // Scrub repairs land on whichever tiles the flip showers hit, so write
+  // imbalance builds slowly; a small delta lets rotation fire within the
+  // compressed lifetime.
+  cfg.wear_rotate_delta = 1;
+  // Row-parallel programming: a 128x128x8-slice differential tile costs
+  // ~14 µs to rewrite, so repairs fit the 250 µs gaps the demand stream
+  // leaves open.
+  cfg.program_ns_per_cell = 0.05;
+  cfg.readback_ns_per_cell = 0.005;
+  cfg.slot_period_us = 500;
+  cfg.slot_len_us = 60;
+  cfg.urgency_deadline_us = 300;
+  return cfg;
+}
+
+struct LifetimeResult {
+  double fresh_acc = 0.0;
+  double final_acc = 0.0;
+  std::vector<double> acc_by_epoch;
+  std::size_t flips = 0;
+  std::uint64_t demand_makespan_us = 0;
+  std::uint64_t action_digest = 0;
+  std::uint64_t output_digest = 0;
+  maint::MaintenanceStats stats;
+  circuit::CrossbarHealth health;
+};
+
+LifetimeResult run_lifetime(TrainedModel& m, const MaintSpec& spec,
+                            const LifeSpec& life) {
+  core::CrossbarExecutor exec(m.net, make_config(), make_options(life));
+  nn::Sgd opt(m.net.params(), 0.0f);
+  nn::Trainer eval(m.net, opt);
+
+  LifetimeResult r;
+  r.fresh_acc = eval.evaluate(m.test.images, m.test.labels, 64).accuracy;
+
+  maint::MaintenanceEngine engine(make_engine_config(spec, life));
+  engine.manage(exec, device::RetentionParams{life.drift_nu, life.t0_seconds},
+                make_options(life));
+  engine.set_obs_label("chip/maint/" + spec.name);
+
+  // The demand stream: a launch every demand_period_us, each occupying the
+  // chip for demand_service_us. Maintenance arbitration may push a launch
+  // later; the accumulated makespan measures the throughput cost.
+  std::uint64_t chip_free_us = 0;
+  const std::size_t launches =
+      life.epoch_us / life.demand_period_us;  // per epoch
+  for (std::size_t e = 0; e < life.epochs; ++e) {
+    const std::uint64_t start = static_cast<std::uint64_t>(e) * life.epoch_us;
+    r.flips += exec.inject_at(e + 1);  // this epoch's soft-error shower
+    for (std::size_t k = 0; k < launches; ++k) {
+      const std::uint64_t sched = start + k * life.demand_period_us;
+      const std::uint64_t launch = std::max(sched, chip_free_us);
+      const std::uint64_t adj = engine.on_demand(chip_free_us, launch);
+      chip_free_us = adj + life.demand_service_us;
+    }
+    engine.advance_time(start + life.epoch_us);
+    r.acc_by_epoch.push_back(
+        eval.evaluate(m.test.images, m.test.labels, 64).accuracy);
+  }
+
+  r.final_acc = r.acc_by_epoch.back();
+  r.output_digest = tensor_digest(m.net.forward(m.test.images, false));
+  r.demand_makespan_us = chip_free_us;
+  r.action_digest = engine.digest();
+  r.stats = engine.stats();
+  r.health = engine.publish_health();
+  return r;
+}
+
+// The urgency lifetime must be bit-identical for any worker-pool size: the
+// engine runs on the scheduler thread and every repair flows through the
+// seeded per-tile programming path.
+bool check_thread_reproducibility(TrainedModel& m, const LifeSpec& life,
+                                  const LifetimeResult& ref) {
+  bool ok = true;
+  const MaintSpec spec{"urgency", true, maint::Policy::kUrgency};
+  for (const std::size_t threads : {1, 4, 8}) {
+    parallel::set_thread_count(threads);
+    const LifetimeResult r = run_lifetime(m, spec, life);
+    if (r.action_digest != ref.action_digest ||
+        r.output_digest != ref.output_digest ||
+        r.demand_makespan_us != ref.demand_makespan_us)
+      ok = false;
+  }
+  parallel::set_thread_count(0);  // restore environment default
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_maintenance.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--help") {
+      std::cout << "usage: bench_maintenance [--quick] [--out=PATH]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg
+                << "\nusage: bench_maintenance [--quick] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  LifeSpec life;
+  if (quick) life.epochs = 6;
+
+  TrainedModel m = train_reference(quick);
+  const auto configs = configurations();
+  std::vector<LifetimeResult> results;
+  results.reserve(configs.size());
+  for (const MaintSpec& spec : configs)
+    results.push_back(run_lifetime(m, spec, life));
+
+  const double fresh = results[0].fresh_acc;
+  const double bar = kRetentionBar * fresh;
+  const bool off_collapses = results[0].final_acc < bar;
+  bool policies_retain = true;
+  for (std::size_t i = 1; i < results.size(); ++i)
+    if (results[i].final_acc < bar) policies_retain = false;
+
+  const double off_makespan =
+      static_cast<double>(results[0].demand_makespan_us);
+  bool cost_bounded = results[1].stats.demand_delay_us == 0;  // idle_only
+  std::vector<double> cost_fraction(results.size(), 0.0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    cost_fraction[i] =
+        (static_cast<double>(results[i].demand_makespan_us) - off_makespan) /
+        off_makespan;
+    if (cost_fraction[i] > kCostBar) cost_bounded = false;
+  }
+
+  const bool reproducible =
+      check_thread_reproducibility(m, life, results.back());
+
+  TablePrinter table({"config", "fresh", "final", "retained", "refreshes",
+                      "scrubs", "rotations", "delay us", "cost"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({configs[i].name, TablePrinter::fmt(r.fresh_acc, 4),
+                   TablePrinter::fmt(r.final_acc, 4),
+                   TablePrinter::fmt(fresh > 0.0 ? r.final_acc / fresh : 0.0,
+                                     4),
+                   std::to_string(r.stats.refreshes),
+                   std::to_string(r.stats.scrub_repairs),
+                   std::to_string(r.stats.rotations),
+                   std::to_string(r.stats.demand_delay_us),
+                   TablePrinter::fmt(cost_fraction[i], 4)});
+  }
+  std::cout << "Maintenance lifetime - LeNet (synthetic MNIST), "
+            << life.epochs << " life epochs x " << life.epoch_us
+            << " us, drift nu " << life.drift_nu << ", flip rate "
+            << life.flip_rate << (quick ? " [quick]" : "") << "\n"
+            << "float reference " << TablePrinter::fmt(m.float_acc, 4)
+            << ", fresh crossbar " << TablePrinter::fmt(fresh, 4) << "\n";
+  table.print(std::cout);
+  std::cout << "off collapses below " << kRetentionBar * 100
+            << "%: " << (off_collapses ? "yes" : "NO")
+            << "  policies retain: " << (policies_retain ? "yes" : "NO")
+            << "  cost bounded <= " << kCostBar * 100
+            << "%: " << (cost_bounded ? "yes" : "NO")
+            << "  reproducible across threads: "
+            << (reproducible ? "yes" : "NO") << "\n";
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  obs::JsonWriter w(json);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", "maintenance");
+  w.kv("workload", "lenet_small_synthetic_mnist");
+  w.kv("quick", quick);
+  w.kv("seed", kSeed);
+  w.kv("float_acc", m.float_acc);
+  w.kv("fresh_acc", fresh);
+  w.kv("retention_bar", kRetentionBar);
+  w.kv("cost_bar", kCostBar);
+  w.key("lifetime");
+  w.begin_object();
+  w.kv("epochs", life.epochs);
+  w.kv("epoch_us", life.epoch_us);
+  w.kv("seconds_per_us", life.seconds_per_us);
+  w.kv("drift_nu", life.drift_nu);
+  w.kv("t0_seconds", life.t0_seconds);
+  w.kv("flip_rate", life.flip_rate);
+  w.kv("stuck_rate", life.stuck_rate);
+  w.end_object();
+  w.key("configs");
+  w.begin_array();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = results[i];
+    w.begin_object();
+    w.kv("name", configs[i].name);
+    w.kv("maintenance", configs[i].enabled);
+    w.kv("fresh_acc", r.fresh_acc);
+    w.kv("final_acc", r.final_acc);
+    w.kv("retained", fresh > 0.0 ? r.final_acc / fresh : 0.0);
+    w.key("acc_by_epoch");
+    w.begin_array();
+    for (const double a : r.acc_by_epoch) w.value(a);
+    w.end_array();
+    w.kv("flips", r.flips);
+    w.kv("refreshes", r.stats.refreshes);
+    w.kv("scrub_detected", r.stats.scrub_detected);
+    w.kv("scrub_repairs", r.stats.scrub_repairs);
+    w.kv("rotations", r.stats.rotations);
+    w.kv("migrated_tiles", r.stats.migrated_tiles);
+    w.kv("cells_programmed", r.stats.cells_programmed);
+    w.kv("maint_busy_us", r.stats.busy_us);
+    w.kv("demand_delay_us", r.stats.demand_delay_us);
+    w.kv("deadline_misses", r.stats.deadline_misses);
+    w.kv("deferred", r.stats.deferred);
+    w.kv("demand_makespan_us", r.demand_makespan_us);
+    w.kv("cost_fraction", cost_fraction[i]);
+    w.kv("action_digest", r.action_digest);
+    w.kv("output_digest", r.output_digest);
+    w.key("health");
+    w.begin_object();
+    w.kv("stuck_cells", r.health.stuck_cells);
+    w.kv("spare_cols_used", r.health.spare_cols_used);
+    w.kv("spares_remaining", r.health.spares_remaining);
+    w.kv("max_age_s", r.health.seconds_since_program);
+    w.kv("min_cumulative_drift", r.health.cumulative_drift);
+    w.kv("program_passes", r.health.program_passes);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("checks");
+  w.begin_object();
+  w.kv("off_collapses", off_collapses);
+  w.kv("policies_retain", policies_retain);
+  w.kv("cost_bounded", cost_bounded);
+  w.kv("reproducible_across_threads", reproducible);
+  w.end_object();
+  w.end_object();
+  w.finish();
+  std::cout << "wrote " << out_path << "\n";
+  return (off_collapses && policies_retain && cost_bounded && reproducible)
+             ? 0
+             : 1;
+}

@@ -25,6 +25,8 @@ struct ChipRunReport {
   double critical_bank_ns = 0.0;  // busiest bank's execution time
   double total_bank_ns = 0.0;     // summed over banks (work, not latency)
   double noc_ns = 0.0;            // inter-bank activation transfers
+  double maint_ns = 0.0;          // critical-path time lost to reserved
+                                  // maintenance slots (0 unless enabled)
   EnergyMeter energy;             // bank components + "noc"
 
   double latency_ns() const { return critical_bank_ns + noc_ns; }
@@ -47,7 +49,19 @@ class ChipSimulator {
 
   const MeshNoc& noc() const { return noc_; }
 
+  // Reserve a recurring maintenance window on every bank timeline (the
+  // fixed_slot arbitration of DESIGN.md §16 seen from the chip model):
+  // each period_ns of bank time donates len_ns to background refresh /
+  // scrub, so demand work on a bank stretches by one slot per
+  // (period - len) of useful time. Zero (the default) disables the
+  // reservation and keeps reports bit-identical to the unmaintained chip.
+  // maint_ns reports the critical bank's stretch; latency_ns() grows by
+  // exactly that amount.
+  void set_maintenance_slots(double period_ns, double len_ns);
+
  private:
+  // Demand busy time stretched around the reserved slots.
+  double stretched_ns(double busy_ns) const;
   // Layer indices homed in each used bank, in network order.
   std::vector<std::vector<std::size_t>> layers_by_bank() const;
   ChipRunReport run(bool training, std::size_t batch);
@@ -63,6 +77,8 @@ class ChipSimulator {
   // previous run's span window, so a batch loop reads as a Gantt chart.
   int trace_pid_ = -1;
   double sim_epoch_us_ = 0.0;
+  double maint_period_ns_ = 0.0;  // 0 = no reserved maintenance slots
+  double maint_len_ns_ = 0.0;
 };
 
 }  // namespace reramdl::arch

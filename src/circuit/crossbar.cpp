@@ -307,6 +307,17 @@ void Crossbar::program(const Tensor& weights, double w_max,
           .add(stats_.defective_cells - defects_before);
   }
   rebuild_w_eff();
+
+  // Reset the health clock: a full reprogram restores every level to its
+  // write-verified target, so drift and age restart from zero.
+  age_seconds_ = 0.0;
+  cumulative_drift_ = 1.0;
+  ++program_passes_;
+  cur_stuck_cells_ = stuck_active;
+  cur_defective_cells_ = stats_.defective_cells - defects_before;
+  // Spares consumed includes bitlines burned by failed remap trials, not
+  // just those that ended up hosting a column.
+  cur_spares_consumed_ = next_spare - config_.data_cols();
 }
 
 Crossbar::ColumnProgram Crossbar::program_column(
@@ -438,7 +449,26 @@ void Crossbar::apply_drift(double factor) {
   for (auto& slice : levels_)
     for (auto& polarity : slice)
       for (auto& level : polarity) level *= factor;
+  cumulative_drift_ *= factor;
   rebuild_w_eff();
+}
+
+void Crossbar::advance_age(double dt_seconds) {
+  RERAMDL_CHECK_GE(dt_seconds, 0.0);
+  age_seconds_ += dt_seconds;
+}
+
+CrossbarHealth Crossbar::health() const {
+  CrossbarHealth h;
+  h.stuck_cells = cur_stuck_cells_;
+  h.defective_cells = cur_defective_cells_;
+  for (std::size_t j = 0; j < c_; ++j)
+    if (col_phys_[j] >= config_.data_cols()) ++h.spare_cols_used;
+  h.spares_remaining = config_.spare_cols - cur_spares_consumed_;
+  h.seconds_since_program = age_seconds_;
+  h.cumulative_drift = cumulative_drift_;
+  h.program_passes = program_passes_;
+  return h;
 }
 
 std::vector<float> Crossbar::compute(const std::vector<float>& x, double x_max) {

@@ -39,6 +39,7 @@
 // crossbar with no fault machinery configured.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,31 @@ struct ProgramOptions {
   // clearly beyond programming noise — a stuck or dead cell).
   double defect_threshold = 0.0;
   DegradePolicy degrade = DegradePolicy::kBestEffort;
+};
+
+// Point-in-time condition report for one array (the scrub/refresh inputs of
+// the maintenance engine, maint/engine.hpp): unlike CrossbarStats — which
+// accumulates across reprogramming passes — every field here describes the
+// *current* programmed state.
+struct CrossbarHealth {
+  std::uint64_t stuck_cells = 0;      // stuck-at faults in the active region
+  std::uint64_t defective_cells = 0;  // unrepaired verify failures, this pass
+  std::uint64_t spare_cols_used = 0;  // spare bitlines currently hosting data
+  std::uint64_t spares_remaining = 0;
+  double seconds_since_program = 0.0;  // drift clock (advance_age)
+  double cumulative_drift = 1.0;       // product of apply_drift factors
+  std::uint64_t program_passes = 0;    // full program() calls over lifetime
+
+  CrossbarHealth& operator+=(const CrossbarHealth& o) {
+    stuck_cells += o.stuck_cells;
+    defective_cells += o.defective_cells;
+    spare_cols_used += o.spare_cols_used;
+    spares_remaining += o.spares_remaining;
+    seconds_since_program = std::max(seconds_since_program, o.seconds_since_program);
+    cumulative_drift = std::min(cumulative_drift, o.cumulative_drift);
+    program_passes += o.program_passes;
+    return *this;
+  }
 };
 
 struct CrossbarStats {
@@ -238,6 +264,14 @@ class Crossbar {
   // arrays have aged `t` without reprogramming. Rebuilds W_eff.
   void apply_drift(double factor);
 
+  // Advance the array's drift clock by `dt` simulated seconds. Pure
+  // bookkeeping — callers pair it with apply_drift for the matching
+  // incremental factor. program() resets the clock.
+  void advance_age(double dt_seconds);
+
+  // Current-state condition report (see CrossbarHealth).
+  CrossbarHealth health() const;
+
   // Fold an externally accumulated stats delta (from compute_batch_block)
   // into this array's counters.
   void merge_stats(const CrossbarStats& delta) { stats_ += delta; }
@@ -288,6 +322,13 @@ class Crossbar {
   std::vector<std::size_t> col_phys_;   // logical column -> physical bitline
   std::vector<std::size_t> phys_owner_; // physical bitline -> logical column
   CrossbarStats stats_;
+  // Health state for the current programming pass (see CrossbarHealth).
+  double age_seconds_ = 0.0;
+  double cumulative_drift_ = 1.0;
+  std::uint64_t program_passes_ = 0;
+  std::uint64_t cur_stuck_cells_ = 0;
+  std::uint64_t cur_defective_cells_ = 0;
+  std::uint64_t cur_spares_consumed_ = 0;
 };
 
 }  // namespace reramdl::circuit

@@ -28,6 +28,7 @@ void CrossbarGrid::program(const Tensor& weights, double w_max,
   const std::size_t data_cols = config_.data_cols();
   row_tiles_ = (total_rows_ + config_.rows - 1) / config_.rows;
   col_tiles_ = (total_cols_ + data_cols - 1) / data_cols;
+  w_max_ = w_max;
 
   // Expand the fault population once at grid level so each tile gets an
   // independent per-tile seed below; this also covers the deprecated
@@ -40,27 +41,87 @@ void CrossbarGrid::program(const Tensor& weights, double w_max,
 
   arrays_.clear();
   arrays_.reserve(row_tiles_ * col_tiles_);
-  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
-    const std::size_t r0 = rt * config_.rows;
-    const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
-    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
-      const std::size_t c0 = ct * data_cols;
-      const std::size_t c1 = std::min(c0 + data_cols, total_cols_);
-      Tensor tile(Shape{r1 - r0, c1 - c0});
-      for (std::size_t i = r0; i < r1; ++i)
-        for (std::size_t j = c0; j < c1; ++j)
-          tile.at(i - r0, j - c0) = weights.at(i, j);
-      Crossbar xbar(config_);
-      ProgramOptions tile_opts = opts;
-      tile_opts.faults = base;
-      if (base.enabled())
-        tile_opts.faults.seed =
-            device::FaultMap::mix_seed(base.seed, arrays_.size() + 1);
-      xbar.program(tile, w_max, tile_opts);
-      arrays_.push_back(std::move(xbar));
-    }
+  for (std::size_t t = 0; t < row_tiles_ * col_tiles_; ++t) {
+    Crossbar xbar(config_);
+    xbar.program(extract_tile(weights, t), w_max, tile_options(opts, base, t));
+    arrays_.push_back(std::move(xbar));
   }
   attribute_program_stats();
+}
+
+std::size_t CrossbarGrid::tile_fault_salt(std::size_t t) const {
+  return t < phys_map_.size() ? phys_map_[t] : t;
+}
+
+ProgramOptions CrossbarGrid::tile_options(const ProgramOptions& opts,
+                                          const device::FaultMapParams& base,
+                                          std::size_t t) const {
+  ProgramOptions tile_opts = opts;
+  tile_opts.faults = base;
+  if (base.enabled())
+    tile_opts.faults.seed =
+        device::FaultMap::mix_seed(base.seed, tile_fault_salt(t) + 1);
+  return tile_opts;
+}
+
+Tensor CrossbarGrid::extract_tile(const Tensor& weights, std::size_t t) const {
+  const std::size_t data_cols = config_.data_cols();
+  const std::size_t rt = t / col_tiles_;
+  const std::size_t ct = t % col_tiles_;
+  const std::size_t r0 = rt * config_.rows;
+  const std::size_t r1 = std::min(r0 + config_.rows, total_rows_);
+  const std::size_t c0 = ct * data_cols;
+  const std::size_t c1 = std::min(c0 + data_cols, total_cols_);
+  Tensor tile(Shape{r1 - r0, c1 - c0});
+  for (std::size_t i = r0; i < r1; ++i)
+    for (std::size_t j = c0; j < c1; ++j)
+      tile.at(i - r0, j - c0) = weights.at(i, j);
+  return tile;
+}
+
+void CrossbarGrid::set_tile_phys_map(std::vector<std::size_t> map) {
+  if (!map.empty() && !arrays_.empty())
+    RERAMDL_CHECK_EQ(map.size(), arrays_.size());
+  phys_map_ = std::move(map);
+}
+
+std::uint64_t CrossbarGrid::refresh_tile(std::size_t t, const Tensor& weights,
+                                         const ProgramOptions& opts) {
+  RERAMDL_CHECK_LT(t, arrays_.size());
+  RERAMDL_CHECK_EQ(weights.shape().rank(), 2u);
+  RERAMDL_CHECK_EQ(weights.shape()[0], total_rows_);
+  RERAMDL_CHECK_EQ(weights.shape()[1], total_cols_);
+  device::FaultMapParams base = opts.faults;
+  if (!base.enabled() && opts.variation != nullptr &&
+      opts.variation->has_legacy_faults())
+    base = opts.variation->legacy_fault_params();
+  const std::uint64_t before = arrays_[t].stats().programmed_cells;
+  arrays_[t].program(extract_tile(weights, t), w_max_,
+                     tile_options(opts, base, t));
+  return arrays_[t].stats().programmed_cells - before;
+}
+
+void CrossbarGrid::apply_drift_tile(std::size_t t, double factor) {
+  RERAMDL_CHECK_LT(t, arrays_.size());
+  arrays_[t].apply_drift(factor);
+}
+
+void CrossbarGrid::advance_age(double dt_seconds) {
+  for (auto& a : arrays_) a.advance_age(dt_seconds);
+}
+
+CrossbarHealth CrossbarGrid::health() const {
+  CrossbarHealth total;
+  bool first = true;
+  for (const auto& a : arrays_) {
+    if (first) {
+      total = a.health();
+      first = false;
+    } else {
+      total += a.health();
+    }
+  }
+  return total;
 }
 
 void CrossbarGrid::attribute_program_stats() const {

@@ -62,6 +62,39 @@ class CrossbarGrid {
   // Age every array (retention drift).
   void apply_drift(double factor);
 
+  // --- Online-maintenance hooks (maint/engine.hpp) ---------------------
+  //
+  // Wear-leveling map: logical tile t programs onto "physical" array slot
+  // map[t] for fault-seed purposes — tile t's stuck-cell population is
+  // drawn with salt map[t] + 1, so after a rotation a logical tile really
+  // inherits the fault pattern of the array now backing it. The default
+  // (empty) map is the identity, which reproduces the historical
+  // mix_seed(seed, t + 1) derivation bit-for-bit. Takes effect at the next
+  // program() / refresh_tile().
+  void set_tile_phys_map(std::vector<std::size_t> map);
+  const std::vector<std::size_t>& tile_phys_map() const { return phys_map_; }
+
+  // Reprogram one tile in place from the full weight matrix (same shape as
+  // the last program() call), through the same per-tile fault seed and the
+  // given options — the drift-refresh / scrub-repair primitive. With
+  // deterministic options this restores the tile's levels bit-identically
+  // to its initial programming and resets its drift clock. Returns the
+  // number of cell program pulses issued (the maintenance cost input).
+  std::uint64_t refresh_tile(std::size_t t, const Tensor& weights,
+                             const ProgramOptions& opts);
+
+  // Per-tile retention drift (the engine applies incremental factors on
+  // each tile's own clock once refreshes desynchronize them).
+  void apply_drift_tile(std::size_t t, double factor);
+
+  // Advance every tile's drift clock by `dt` simulated seconds.
+  void advance_age(double dt_seconds);
+
+  // Aggregate condition report: sums of the per-tile counts, the *oldest*
+  // tile's age and the *most drifted* tile's cumulative factor (see
+  // CrossbarHealth::operator+=).
+  CrossbarHealth health() const;
+
   std::size_t row_tiles() const { return row_tiles_; }
   std::size_t col_tiles() const { return col_tiles_; }
   std::size_t num_arrays() const { return arrays_.size(); }
@@ -81,8 +114,16 @@ class CrossbarGrid {
 
   // Tile introspection (row-major [row_tile][col_tile]).
   const Crossbar& array(std::size_t t) const { return arrays_[t]; }
+  Crossbar& array_mut(std::size_t t) { return arrays_[t]; }
 
  private:
+  // Fault-seed salt for logical tile t: its physical slot under the
+  // wear-leveling map (identity when unset).
+  std::size_t tile_fault_salt(std::size_t t) const;
+  ProgramOptions tile_options(const ProgramOptions& opts,
+                              const device::FaultMapParams& base,
+                              std::size_t t) const;
+  Tensor extract_tile(const Tensor& weights, std::size_t t) const;
   // Books programming-time per-tile stats (verify retries, remaps) under
   // the attribution label; called at the end of program().
   void attribute_program_stats() const;
@@ -92,6 +133,8 @@ class CrossbarGrid {
   std::size_t row_tiles_ = 0, col_tiles_ = 0;
   std::vector<Crossbar> arrays_;  // row-major [row_tile][col_tile]
   std::string obs_label_;
+  double w_max_ = 0.0;                  // from the last program() call
+  std::vector<std::size_t> phys_map_;   // wear-leveling map; empty = identity
 };
 
 }  // namespace reramdl::circuit

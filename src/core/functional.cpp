@@ -149,6 +149,39 @@ const circuit::CrossbarGrid& CrossbarExecutor::grid(std::size_t i) const {
   return *grids_[i];
 }
 
+circuit::CrossbarGrid& CrossbarExecutor::grid_mut(std::size_t i) {
+  RERAMDL_CHECK_LT(i, grids_.size());
+  return *grids_[i];
+}
+
+const Tensor& CrossbarExecutor::layer_weights(std::size_t l) const {
+  RERAMDL_CHECK_LT(l, bindings_.size());
+  return *bindings_[l]->weights;
+}
+
+std::uint64_t CrossbarExecutor::refresh_tile(
+    std::size_t l, std::size_t t, const circuit::ProgramOptions& opts) {
+  RERAMDL_CHECK_LT(l, bindings_.size());
+  circuit::ProgramOptions layer_opts = opts;
+  if (opts.faults.enabled())
+    layer_opts.faults.seed = device::FaultMap::mix_seed(opts.faults.seed, l + 1);
+  return grids_[l]->refresh_tile(t, *bindings_[l]->weights, layer_opts);
+}
+
+circuit::CrossbarHealth CrossbarExecutor::health() const {
+  circuit::CrossbarHealth total;
+  bool first = true;
+  for (const auto& g : grids_) {
+    if (first) {
+      total = g->health();
+      first = false;
+    } else {
+      total += g->health();
+    }
+  }
+  return total;
+}
+
 circuit::CrossbarStats CrossbarExecutor::aggregate_stats() const {
   circuit::CrossbarStats total;
   for (const auto& g : grids_) total += g->aggregate_stats();

@@ -63,7 +63,21 @@ class CrossbarExecutor {
 
   std::size_t num_grids() const { return grids_.size(); }
   const circuit::CrossbarGrid& grid(std::size_t i) const;
+  // Mutable grid access for the maintenance engine (wear-leveling maps,
+  // per-tile drift/aging).
+  circuit::CrossbarGrid& grid_mut(std::size_t i);
+  // The weight matrix layer `l`'s grid was programmed from.
+  const Tensor& layer_weights(std::size_t l) const;
   circuit::CrossbarStats aggregate_stats() const;
+
+  // Reprogram one tile of one layer's grid in place (the drift-refresh /
+  // scrub-repair primitive) with the same per-layer fault-seed mix as
+  // reprogram(opts); returns the cell program pulses issued.
+  std::uint64_t refresh_tile(std::size_t l, std::size_t t,
+                             const circuit::ProgramOptions& opts);
+
+  // Aggregate condition report across all grids (CrossbarGrid::health()).
+  circuit::CrossbarHealth health() const;
 
   ~CrossbarExecutor();
   CrossbarExecutor(const CrossbarExecutor&) = delete;

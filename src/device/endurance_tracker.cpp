@@ -1,0 +1,73 @@
+#include "device/endurance_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace reramdl::device {
+
+EnduranceTracker::EnduranceTracker(std::size_t tiles, double cell_endurance)
+    : writes_(tiles, 0), baseline_(tiles, 0), cell_endurance_(cell_endurance) {
+  RERAMDL_CHECK_GT(tiles, 0u);
+  RERAMDL_CHECK_GT(cell_endurance, 0.0);
+  map_.resize(tiles);
+  for (std::size_t t = 0; t < tiles; ++t) map_[t] = t;
+}
+
+void EnduranceTracker::record_program(std::size_t logical_tile,
+                                      std::uint64_t cycles) {
+  RERAMDL_CHECK_LT(logical_tile, map_.size());
+  writes_[map_[logical_tile]] += cycles;
+}
+
+std::size_t EnduranceTracker::physical_of(std::size_t logical_tile) const {
+  RERAMDL_CHECK_LT(logical_tile, map_.size());
+  return map_[logical_tile];
+}
+
+void EnduranceTracker::rotate() {
+  RERAMDL_CHECK(!map_.empty());
+  for (std::size_t t = 0; t < map_.size(); ++t)
+    map_[t] = (map_[t] + 1) % map_.size();
+  baseline_ = writes_;
+  ++rotations_;
+}
+
+std::uint64_t EnduranceTracker::writes(std::size_t p) const {
+  RERAMDL_CHECK_LT(p, writes_.size());
+  return writes_[p];
+}
+
+std::uint64_t EnduranceTracker::max_writes() const {
+  return writes_.empty() ? 0
+                         : *std::max_element(writes_.begin(), writes_.end());
+}
+
+std::uint64_t EnduranceTracker::min_writes() const {
+  return writes_.empty() ? 0
+                         : *std::min_element(writes_.begin(), writes_.end());
+}
+
+std::uint64_t EnduranceTracker::total_writes() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : writes_) total += w;
+  return total;
+}
+
+std::uint64_t EnduranceTracker::imbalance_since_rotation() const {
+  if (writes_.empty()) return 0;
+  std::uint64_t lo = writes_[0] - baseline_[0];
+  std::uint64_t hi = lo;
+  for (std::size_t p = 1; p < writes_.size(); ++p) {
+    const std::uint64_t d = writes_[p] - baseline_[p];
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi - lo;
+}
+
+double EnduranceTracker::wear_fraction() const {
+  return static_cast<double>(max_writes()) / cell_endurance_;
+}
+
+}  // namespace reramdl::device

@@ -1,0 +1,70 @@
+// Per-tile write-endurance accounting and wear-leveling rotation.
+//
+// ReRAM cells survive a bounded number of program/erase cycles
+// (EnduranceParams::max_writes, reliability.hpp). In a deployed chip the
+// write load is not uniform: drift-refresh reprograms tiles on their own
+// aging clocks, and fault scrubbing reprograms exactly the tiles that soft
+// errors happen to hit — so a handful of physical arrays can burn through
+// their budget while their neighbors stay fresh. The maintenance engine
+// (maint/engine.hpp) counters this with wear-leveling: it tracks per-tile
+// write cycles here and, when the spread since the last rotation exceeds a
+// threshold, rotates the logical->physical tile assignment so future
+// programming wear lands on the least-worn arrays.
+//
+// The tracker is pure bookkeeping plus the logical->physical map; the
+// CrossbarGrid consumes the map (set_tile_phys_map) so per-tile fault-map
+// seeds follow the *physical* array — after a rotation a logical tile
+// really does inherit the stuck-cell population of the array now backing
+// it. All state is a deterministic function of the recorded call sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reramdl::device {
+
+class EnduranceTracker {
+ public:
+  EnduranceTracker() = default;
+  // `tiles` physical arrays, each cell surviving `cell_endurance` writes.
+  explicit EnduranceTracker(std::size_t tiles, double cell_endurance = 1e9);
+
+  std::size_t tiles() const { return map_.size(); }
+
+  // Book `cycles` program cycles against the physical array currently
+  // backing `logical_tile`.
+  void record_program(std::size_t logical_tile, std::uint64_t cycles = 1);
+
+  // Physical array backing a logical tile (identity until rotate()).
+  std::size_t physical_of(std::size_t logical_tile) const;
+  const std::vector<std::size_t>& mapping() const { return map_; }
+
+  // Rotate the logical->physical assignment by one position and reset the
+  // imbalance baseline (the wear already on the die cannot be undone; what
+  // rotation bounds is its future growth).
+  void rotate();
+  std::size_t rotations() const { return rotations_; }
+
+  // Lifetime write cycles on physical array `p`.
+  std::uint64_t writes(std::size_t p) const;
+  std::uint64_t max_writes() const;
+  std::uint64_t min_writes() const;
+  std::uint64_t total_writes() const;
+
+  // max - min of the per-tile writes accrued since the last rotation (or
+  // construction): the wear-leveling trigger.
+  std::uint64_t imbalance_since_rotation() const;
+
+  // Fraction of the worst-worn array's endurance budget consumed.
+  double wear_fraction() const;
+
+ private:
+  std::vector<std::size_t> map_;         // logical tile -> physical array
+  std::vector<std::uint64_t> writes_;    // per physical array, lifetime
+  std::vector<std::uint64_t> baseline_;  // writes_ snapshot at last rotate()
+  double cell_endurance_ = 1e9;
+  std::size_t rotations_ = 0;
+};
+
+}  // namespace reramdl::device

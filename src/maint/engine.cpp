@@ -1,0 +1,442 @@
+#include "maint/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "obs/obs.hpp"
+
+namespace reramdl::maint {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (b * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kIdleOnly: return "idle_only";
+    case Policy::kFixedSlot: return "fixed_slot";
+    case Policy::kUrgency: return "urgency";
+  }
+  return "?";
+}
+
+const char* task_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kDriftRefresh: return "drift_refresh";
+    case TaskKind::kScrub: return "scrub";
+    case TaskKind::kWearLevel: return "wear_level";
+  }
+  return "?";
+}
+
+MaintenanceConfig MaintenanceConfig::from_env() {
+  return from_env(MaintenanceConfig{});
+}
+
+MaintenanceConfig MaintenanceConfig::from_env(const MaintenanceConfig& base) {
+  MaintenanceConfig c = base;
+  if (const char* raw = std::getenv("RERAMDL_MAINT_POLICY");
+      raw != nullptr && raw[0] != '\0') {
+    const std::string_view v(raw);
+    if (v == "idle_only") c.policy = Policy::kIdleOnly;
+    else if (v == "fixed_slot") c.policy = Policy::kFixedSlot;
+    else if (v == "urgency") c.policy = Policy::kUrgency;
+    else
+      env::detail::warn_invalid("RERAMDL_MAINT_POLICY", raw,
+                                "use idle_only/fixed_slot/urgency");
+  }
+  c.drift_refresh = env::env_flag("RERAMDL_MAINT_DRIFT", c.drift_refresh);
+  c.scrub = env::env_flag("RERAMDL_MAINT_SCRUB", c.scrub);
+  c.wear_level = env::env_flag("RERAMDL_MAINT_WEAR", c.wear_level);
+  c.seconds_per_us = env::env_double("RERAMDL_MAINT_SECONDS_PER_US",
+                                     c.seconds_per_us, 1e-12, 1e12);
+  c.drift_epoch_us = static_cast<std::uint64_t>(env::env_int(
+      "RERAMDL_MAINT_EPOCH_US", static_cast<long long>(c.drift_epoch_us), 1));
+  c.refresh_age_s =
+      env::env_double("RERAMDL_MAINT_REFRESH_AGE_S", c.refresh_age_s, 1e-9);
+  c.scrub_interval_s = env::env_double("RERAMDL_MAINT_SCRUB_INTERVAL_S",
+                                       c.scrub_interval_s, 1e-9);
+  c.wear_rotate_delta = static_cast<std::uint64_t>(
+      env::env_int("RERAMDL_MAINT_WEAR_DELTA",
+                   static_cast<long long>(c.wear_rotate_delta), 0));
+  c.slot_period_us = static_cast<std::uint64_t>(env::env_int(
+      "RERAMDL_MAINT_SLOT_PERIOD_US", static_cast<long long>(c.slot_period_us),
+      1));
+  c.slot_len_us = static_cast<std::uint64_t>(env::env_int(
+      "RERAMDL_MAINT_SLOT_LEN_US", static_cast<long long>(c.slot_len_us), 1));
+  c.urgency_deadline_us = static_cast<std::uint64_t>(env::env_int(
+      "RERAMDL_MAINT_DEADLINE_US",
+      static_cast<long long>(c.urgency_deadline_us), 0));
+  return c;
+}
+
+MaintenanceEngine::MaintenanceEngine(const MaintenanceConfig& cfg)
+    : cfg_(cfg) {
+  RERAMDL_CHECK_GT(cfg_.seconds_per_us, 0.0);
+  RERAMDL_CHECK_GT(cfg_.drift_epoch_us, 0u);
+  RERAMDL_CHECK_GT(cfg_.slot_period_us, 0u);
+  RERAMDL_CHECK_LE(cfg_.slot_len_us, cfg_.slot_period_us);
+}
+
+std::size_t MaintenanceEngine::manage(core::CrossbarExecutor& exec,
+                                      const device::RetentionParams& retention,
+                                      const circuit::ProgramOptions& opts) {
+  Unit u{&exec, device::RetentionModel(retention), opts, {}, {}, 0.0};
+  u.wear.reserve(exec.num_grids());
+  u.faults_seen.reserve(exec.num_grids());
+  for (std::size_t g = 0; g < exec.num_grids(); ++g) {
+    const circuit::CrossbarGrid& grid = exec.grid(g);
+    device::EnduranceTracker tracker(grid.num_arrays());
+    std::vector<std::uint64_t> seen(grid.num_arrays(), 0);
+    for (std::size_t t = 0; t < grid.num_arrays(); ++t) {
+      // The initial programming already spent one write cycle per tile;
+      // stuck-at hits it counted are not "new" faults for the scrubber.
+      tracker.record_program(t);
+      seen[t] = grid.array(t).stats().faults_injected;
+    }
+    u.wear.push_back(std::move(tracker));
+    u.faults_seen.push_back(std::move(seen));
+  }
+  u.next_scrub_s = device_seconds() + cfg_.scrub_interval_s;
+  units_.push_back(std::move(u));
+  return units_.size() - 1;
+}
+
+void MaintenanceEngine::advance_time(std::uint64_t now_us) {
+  while (aged_us_ + cfg_.drift_epoch_us <= now_us) step_epoch();
+  now_us_ = std::max(now_us_, now_us);
+}
+
+void MaintenanceEngine::step_epoch() {
+  aged_us_ += cfg_.drift_epoch_us;
+  const double dt_s =
+      static_cast<double>(cfg_.drift_epoch_us) * cfg_.seconds_per_us;
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    Unit& u = units_[ui];
+    for (std::size_t g = 0; g < u.exec->num_grids(); ++g) {
+      circuit::CrossbarGrid& grid = u.exec->grid_mut(g);
+      // Each tile drifts on its own clock (refreshes desynchronize them):
+      // the incremental factor over this epoch is drift(age + dt) /
+      // drift(age), so a tile's cumulative factor always equals the
+      // one-shot factor at its age — path-independent and deterministic.
+      for (std::size_t t = 0; t < grid.num_arrays(); ++t) {
+        const double age_s =
+            grid.array(t).health().seconds_since_program;
+        const double f0 = u.retention.drift_factor(age_s);
+        const double f1 = u.retention.drift_factor(age_s + dt_s);
+        const double f = std::clamp(f1 / f0, 0.0, 1.0);
+        if (f < 1.0) grid.apply_drift_tile(t, f);
+      }
+      grid.advance_age(dt_s);
+      if (cfg_.drift_refresh) {
+        for (std::size_t t = 0; t < grid.num_arrays(); ++t) {
+          if (grid.array(t).health().seconds_since_program <
+              cfg_.refresh_age_s)
+            continue;
+          if (pending(ui, g, t, TaskKind::kDriftRefresh)) continue;
+          Action a;
+          a.kind = TaskKind::kDriftRefresh;
+          a.unit = ui;
+          a.grid = g;
+          a.tile = t;
+          a.due_us = aged_us_;
+          a.deadline_us = aged_us_ + cfg_.urgency_deadline_us;
+          a.cost_us = tile_cost_us(u, g, t);
+          enqueue(a);
+        }
+      }
+    }
+    scan_unit(ui);
+  }
+}
+
+void MaintenanceEngine::scan_unit(std::size_t ui) {
+  Unit& u = units_[ui];
+  if (cfg_.scrub && device_seconds() >= u.next_scrub_s) {
+    while (u.next_scrub_s <= device_seconds())
+      u.next_scrub_s += cfg_.scrub_interval_s;
+    for (std::size_t g = 0; g < u.exec->num_grids(); ++g) {
+      const circuit::CrossbarGrid& grid = u.exec->grid(g);
+      for (std::size_t t = 0; t < grid.num_arrays(); ++t) {
+        const std::uint64_t now_faults = grid.array(t).stats().faults_injected;
+        if (now_faults <= u.faults_seen[g][t]) continue;
+        const std::uint64_t fresh = now_faults - u.faults_seen[g][t];
+        u.faults_seen[g][t] = now_faults;
+        stats_.scrub_detected += fresh;
+        if (pending(ui, g, t, TaskKind::kScrub)) continue;
+        Action a;
+        a.kind = TaskKind::kScrub;
+        a.unit = ui;
+        a.grid = g;
+        a.tile = t;
+        a.due_us = aged_us_;
+        // Fault pressure shrinks the grace window: a tile with many fresh
+        // hits is repaired sooner under the urgency policy.
+        a.deadline_us = aged_us_ + cfg_.urgency_deadline_us /
+                                       std::max<std::uint64_t>(1, fresh);
+        a.cost_us = tile_cost_us(u, g, t);
+        enqueue(a);
+      }
+    }
+  }
+  if (cfg_.wear_level && cfg_.wear_rotate_delta > 0) {
+    for (std::size_t g = 0; g < u.exec->num_grids(); ++g) {
+      if (u.wear[g].imbalance_since_rotation() < cfg_.wear_rotate_delta)
+        continue;
+      if (pending(ui, g, 0, TaskKind::kWearLevel)) continue;
+      Action a;
+      a.kind = TaskKind::kWearLevel;
+      a.unit = ui;
+      a.grid = g;
+      a.tile = 0;
+      a.due_us = aged_us_;
+      a.deadline_us = aged_us_ + cfg_.urgency_deadline_us;
+      a.cost_us = 0;
+      const circuit::CrossbarGrid& grid = u.exec->grid(g);
+      for (std::size_t t = 0; t < grid.num_arrays(); ++t)
+        a.cost_us += tile_cost_us(u, g, t);
+      enqueue(a);
+    }
+  }
+}
+
+bool MaintenanceEngine::pending(std::size_t u, std::size_t g, std::size_t t,
+                                TaskKind k) const {
+  for (const Action& a : queue_)
+    if (a.unit == u && a.grid == g && a.tile == t && a.kind == k) return true;
+  return false;
+}
+
+void MaintenanceEngine::enqueue(Action a) {
+  // Keep (due, unit, grid, tile, kind) order; triggers fire with
+  // nondecreasing due stamps so this is almost always a push_back.
+  auto after = [](const Action& x, const Action& y) {
+    if (x.due_us != y.due_us) return x.due_us > y.due_us;
+    if (x.unit != y.unit) return x.unit > y.unit;
+    if (x.grid != y.grid) return x.grid > y.grid;
+    if (x.tile != y.tile) return x.tile > y.tile;
+    return static_cast<int>(x.kind) > static_cast<int>(y.kind);
+  };
+  auto it = queue_.end();
+  while (it != queue_.begin() && after(*(it - 1), a)) --it;
+  queue_.insert(it, a);
+}
+
+std::uint64_t MaintenanceEngine::tile_cost_us(const Unit& u, std::size_t g,
+                                              std::size_t t) const {
+  const circuit::Crossbar& xbar = u.exec->grid(g).array(t);
+  const double cells =
+      static_cast<double>(xbar.active_rows() * xbar.active_cols() *
+                          xbar.config().slices() * 2);
+  const double ns =
+      cells * (cfg_.program_ns_per_cell + cfg_.readback_ns_per_cell);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ns / 1000.0));
+}
+
+std::uint64_t MaintenanceEngine::execute(const Action& a,
+                                         std::uint64_t start_us) {
+  Unit& u = units_[a.unit];
+  std::uint64_t cells = 0;
+  switch (a.kind) {
+    case TaskKind::kDriftRefresh:
+    case TaskKind::kScrub: {
+      cells = u.exec->refresh_tile(a.grid, a.tile, u.refresh_opts);
+      u.wear[a.grid].record_program(a.tile);
+      // Reprogramming re-counts the tile's stuck-at hits into
+      // faults_injected; resync so the next scan only sees new flips.
+      u.faults_seen[a.grid][a.tile] =
+          u.exec->grid(a.grid).array(a.tile).stats().faults_injected;
+      if (a.kind == TaskKind::kDriftRefresh) ++stats_.refreshes;
+      else ++stats_.scrub_repairs;
+      break;
+    }
+    case TaskKind::kWearLevel: {
+      u.wear[a.grid].rotate();
+      circuit::CrossbarGrid& grid = u.exec->grid_mut(a.grid);
+      grid.set_tile_phys_map(u.wear[a.grid].mapping());
+      // Migrate: every tile reprograms under its new physical slot (new
+      // fault population, fresh levels).
+      for (std::size_t t = 0; t < grid.num_arrays(); ++t) {
+        cells += u.exec->refresh_tile(a.grid, t, u.refresh_opts);
+        u.wear[a.grid].record_program(t);
+        u.faults_seen[a.grid][t] = grid.array(t).stats().faults_injected;
+        ++stats_.migrated_tiles;
+      }
+      ++stats_.rotations;
+      break;
+    }
+  }
+  const std::uint64_t end_us = start_us + a.cost_us;
+  busy_until_us_ = std::max(busy_until_us_, end_us);
+  stats_.busy_us += a.cost_us;
+  stats_.cells_programmed += cells;
+  if (cfg_.policy == Policy::kUrgency && start_us > a.deadline_us)
+    ++stats_.deadline_misses;
+
+  digest_ = fnv_mix(digest_, static_cast<std::uint64_t>(a.kind));
+  digest_ = fnv_mix(digest_, a.unit);
+  digest_ = fnv_mix(digest_, a.grid);
+  digest_ = fnv_mix(digest_, a.tile);
+  digest_ = fnv_mix(digest_, start_us);
+  digest_ = fnv_mix(digest_, a.cost_us);
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    static obs::Counter& actions = reg.counter("maint.actions");
+    static obs::Counter& busy = reg.counter("maint.busy_us");
+    static obs::Counter& programmed = reg.counter("maint.cells_programmed");
+    actions.add();
+    busy.add(a.cost_us);
+    programmed.add(cells);
+    auto& attr = obs::Attribution::instance();
+    attr.add(obs_label_, std::string(task_name(a.kind)) + "_us",
+             static_cast<double>(a.cost_us));
+    attr.add(obs_label_, "actions", 1.0);
+  }
+  if (obs::trace_enabled()) {
+    if (trace_pid_ < 0) trace_pid_ = obs::alloc_virtual_pid("maintenance");
+    obs::emit_complete(task_name(a.kind), "maint",
+                       static_cast<double>(start_us),
+                       static_cast<double>(a.cost_us),
+                       static_cast<int>(a.unit), trace_pid_);
+  }
+  return end_us;
+}
+
+std::uint64_t MaintenanceEngine::run_in_gap(std::uint64_t from_us,
+                                            std::uint64_t until_us) {
+  // Strict head-of-queue service keeps the schedule a pure function of the
+  // queue contents: if the oldest action does not fit the gap, nothing
+  // runs (no out-of-order backfill).
+  while (!queue_.empty() && from_us + queue_.front().cost_us <= until_us) {
+    const Action a = queue_.front();
+    queue_.pop_front();
+    from_us = execute(a, from_us);
+  }
+  return from_us;
+}
+
+std::uint64_t MaintenanceEngine::on_demand(std::uint64_t chip_free_us,
+                                          std::uint64_t launch_us) {
+  advance_time(launch_us);
+  const std::uint64_t free_us = std::max(chip_free_us, busy_until_us_);
+  std::uint64_t adjusted = std::max(launch_us, free_us);
+  switch (cfg_.policy) {
+    case Policy::kIdleOnly: {
+      // Gap work only; demand is never delayed (actions must fit wholly
+      // before the launch moment).
+      if (free_us < launch_us) run_in_gap(free_us, launch_us);
+      adjusted = std::max(launch_us, busy_until_us_);
+      break;
+    }
+    case Policy::kFixedSlot: {
+      // Windows that passed while the chip was idle progress the queue for
+      // free; a launch landing inside a reserved window with work pending
+      // is pushed to the window's end.
+      std::uint64_t cursor = free_us;
+      for (std::uint64_t k = free_us / cfg_.slot_period_us;
+           k * cfg_.slot_period_us < launch_us && !queue_.empty(); ++k) {
+        const std::uint64_t ws = k * cfg_.slot_period_us;
+        const std::uint64_t we =
+            std::min<std::uint64_t>(ws + cfg_.slot_len_us, launch_us);
+        const std::uint64_t from = std::max(cursor, ws);
+        if (from >= we) continue;
+        cursor = run_in_gap(from, we);
+      }
+      adjusted = std::max(launch_us, busy_until_us_);
+      const std::uint64_t ws =
+          (adjusted / cfg_.slot_period_us) * cfg_.slot_period_us;
+      const std::uint64_t we = ws + cfg_.slot_len_us;
+      if (!queue_.empty() && adjusted >= ws && adjusted < we) {
+        run_in_gap(std::max(adjusted, ws), we);
+        adjusted = we;  // the window is reserved; demand resumes after it
+      }
+      break;
+    }
+    case Policy::kUrgency: {
+      // Idle gaps are free, then expired deadlines preempt the launch.
+      if (free_us < launch_us) run_in_gap(free_us, launch_us);
+      std::uint64_t t = std::max(launch_us, busy_until_us_);
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline_us <= launch_us) {
+          const Action a = *it;
+          it = queue_.erase(it);
+          t = execute(a, t);
+        } else {
+          ++it;
+        }
+      }
+      adjusted = std::max(t, std::max(launch_us, busy_until_us_));
+      break;
+    }
+  }
+  stats_.demand_delay_us += adjusted - launch_us;
+  return adjusted;
+}
+
+void MaintenanceEngine::run_pending() {
+  std::uint64_t t = std::max(now_us_, busy_until_us_);
+  while (!queue_.empty()) {
+    const Action a = queue_.front();
+    queue_.pop_front();
+    t = execute(a, t);
+  }
+}
+
+circuit::CrossbarHealth MaintenanceEngine::publish_health() {
+  circuit::CrossbarHealth total;
+  bool first = true;
+  for (const Unit& u : units_) {
+    const circuit::CrossbarHealth h = u.exec->health();
+    if (first) {
+      total = h;
+      first = false;
+    } else {
+      total += h;
+    }
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    reg.gauge("maint.health.stuck_cells")
+        .set(static_cast<double>(total.stuck_cells));
+    reg.gauge("maint.health.defective_cells")
+        .set(static_cast<double>(total.defective_cells));
+    reg.gauge("maint.health.spare_cols_used")
+        .set(static_cast<double>(total.spare_cols_used));
+    reg.gauge("maint.health.spares_remaining")
+        .set(static_cast<double>(total.spares_remaining));
+    reg.gauge("maint.health.max_age_s").set(total.seconds_since_program);
+    reg.gauge("maint.health.min_cumulative_drift").set(total.cumulative_drift);
+    reg.gauge("maint.pending_actions")
+        .set(static_cast<double>(queue_.size()));
+  }
+  return total;
+}
+
+MaintenanceStats MaintenanceEngine::stats() const {
+  MaintenanceStats s = stats_;
+  s.deferred = queue_.size();
+  return s;
+}
+
+const device::EnduranceTracker& MaintenanceEngine::wear(
+    std::size_t unit, std::size_t grid) const {
+  RERAMDL_CHECK_LT(unit, units_.size());
+  RERAMDL_CHECK_LT(grid, units_[unit].wear.size());
+  return units_[unit].wear[grid];
+}
+
+}  // namespace reramdl::maint

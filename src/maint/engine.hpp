@@ -1,0 +1,220 @@
+// Online crossbar maintenance: drift refresh, fault scrubbing and
+// wear-leveling arbitrated against live demand traffic (DESIGN.md §16).
+//
+// Deployed ReRAM arrays degrade on their own clocks — conductances drift
+// toward the high-resistance state (device::RetentionModel), soft errors
+// flip stored bits (FaultMap transients), and every reprogram consumes
+// write endurance. Until now these only degraded inference passively; the
+// MaintenanceEngine is the autonomous repair layer that pushes back:
+//
+//   * drift refresh — tiles whose drift clock exceeds refresh_age_s are
+//     reprogrammed from the bound layer weights through the PR-5
+//     write-verify path (CrossbarExecutor::refresh_tile), restoring fresh
+//     levels and resetting the tile's age;
+//   * fault scrub — every scrub_interval_s the engine compares each tile's
+//     faults_injected counter against the last scan; tiles hit by new
+//     transient flips are repaired the same way (write-verify re-targets
+//     the flipped cells, spare-column remap absorbs unrepairable ones);
+//   * wear-leveling — each tile program books write cycles in a
+//     device::EnduranceTracker; when the per-grid write imbalance since
+//     the last rotation exceeds wear_rotate_delta, the logical->physical
+//     tile map rotates (CrossbarGrid::set_tile_phys_map) and the grid is
+//     migrated (every tile reprogrammed under its new physical slot).
+//
+// Maintenance costs chip time (program_ns_per_cell / readback_ns_per_cell)
+// and therefore contends with inference. Arbitration policies:
+//
+//   * idle_only  — actions run only inside gaps between the chip becoming
+//     free and the next batch launch; demand is never delayed, but urgent
+//     work can starve under sustained load;
+//   * fixed_slot — the chip reserves a recurring window ([k*slot_period_us,
+//     k*slot_period_us + slot_len_us)); launches falling inside a window
+//     are pushed to its end and queued actions progress within it;
+//   * urgency    — idle gaps are used for free, and actions whose deadline
+//     (trigger time + urgency_deadline_us, shrunk by fault pressure for
+//     scrubs) has expired run immediately, delaying the demand launch.
+//
+// Determinism: the engine runs entirely in virtual microseconds on the
+// scheduler thread. Aging is quantized into drift_epoch_us steps, triggers
+// are evaluated in fixed (unit, grid, tile) order, the action queue is
+// sorted by (due_us, unit, grid, tile, kind), and every repair flows
+// through the seeded per-tile programming path — so the full action log,
+// the resulting weights and the demand-delay accounting are bit-identical
+// for any RERAMDL_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "core/functional.hpp"
+#include "device/endurance_tracker.hpp"
+#include "device/reliability.hpp"
+
+namespace reramdl::maint {
+
+enum class Policy : unsigned char { kIdleOnly, kFixedSlot, kUrgency };
+enum class TaskKind : unsigned char { kDriftRefresh, kScrub, kWearLevel };
+
+const char* policy_name(Policy p);
+const char* task_name(TaskKind k);
+
+struct MaintenanceConfig {
+  Policy policy = Policy::kIdleOnly;
+  // Per-task enables (all on: the full self-managing stack).
+  bool drift_refresh = true;
+  bool scrub = true;
+  bool wear_level = true;
+
+  // Device-time compression: simulated device seconds elapsing per virtual
+  // microsecond of scheduler time. 1.0 means one virtual µs ages the
+  // arrays one second — campaign benches compress months into a replay.
+  double seconds_per_us = 1.0;
+
+  // Aging granularity: drift is applied (and triggers evaluated) once per
+  // epoch of this many virtual µs.
+  std::uint64_t drift_epoch_us = 50;
+
+  // Drift-refresh trigger and the urgency policy's grace window.
+  double refresh_age_s = 600.0;  // refresh tiles older than this (device s)
+  std::uint64_t urgency_deadline_us = 500;
+
+  // Fault-scrub cadence (device seconds).
+  double scrub_interval_s = 200.0;
+
+  // Wear-leveling trigger: rotate when a grid's write imbalance since the
+  // last rotation reaches this many cycles. 0 disables rotation even when
+  // wear_level is on (tracking only).
+  std::uint64_t wear_rotate_delta = 8;
+
+  // Chip-time cost model for one repair (per cell pulse / readback).
+  double program_ns_per_cell = 20.0;
+  double readback_ns_per_cell = 2.0;
+
+  // fixed_slot window geometry.
+  std::uint64_t slot_period_us = 2000;
+  std::uint64_t slot_len_us = 200;
+
+  // RERAMDL_MAINT_* environment overrides on top of the given defaults:
+  // POLICY (idle_only/fixed_slot/urgency), SECONDS_PER_US, EPOCH_US,
+  // REFRESH_AGE_S, SCRUB_INTERVAL_S, WEAR_DELTA, SLOT_PERIOD_US,
+  // SLOT_LEN_US, DEADLINE_US plus the DRIFT/SCRUB/WEAR enable flags.
+  static MaintenanceConfig from_env();
+  static MaintenanceConfig from_env(const MaintenanceConfig& base);
+};
+
+struct MaintenanceStats {
+  std::uint64_t refreshes = 0;        // drift-refresh tile reprograms
+  std::uint64_t scrub_repairs = 0;    // scrub-triggered tile reprograms
+  std::uint64_t scrub_detected = 0;   // new transient hits found by scans
+  std::uint64_t rotations = 0;        // wear-leveling map rotations
+  std::uint64_t migrated_tiles = 0;   // tiles reprogrammed by rotations
+  std::uint64_t cells_programmed = 0; // total repair program pulses
+  std::uint64_t busy_us = 0;          // chip time consumed by maintenance
+  std::uint64_t demand_delay_us = 0;  // launch delay imposed on demand
+  std::uint64_t deadline_misses = 0;  // urgent actions that ran late
+  std::uint64_t deferred = 0;         // actions still pending (point-in-time)
+};
+
+// One queued repair action.
+struct Action {
+  TaskKind kind = TaskKind::kDriftRefresh;
+  std::size_t unit = 0, grid = 0, tile = 0;
+  std::uint64_t due_us = 0;       // trigger time
+  std::uint64_t deadline_us = 0;  // urgency policy: must start by this
+  std::uint64_t cost_us = 1;      // modeled chip time to execute
+};
+
+class MaintenanceEngine {
+ public:
+  explicit MaintenanceEngine(const MaintenanceConfig& cfg);
+
+  // Registers an executor for autonomous management. `retention` drives
+  // the aging model applied to its tiles; `refresh_opts` is the
+  // programming path used for every repair (write-verify + spares +
+  // fault population — normally the same options the executor was
+  // programmed with). The executor must outlive the engine. Returns the
+  // unit index.
+  std::size_t manage(core::CrossbarExecutor& exec,
+                     const device::RetentionParams& retention,
+                     const circuit::ProgramOptions& refresh_opts);
+
+  // Advance virtual time: applies epoch-quantized aging/drift to every
+  // managed tile, runs trigger scans, and enqueues repair actions. Does
+  // not execute actions (that needs an arbitration window). Monotonic;
+  // calls with earlier stamps are no-ops.
+  void advance_time(std::uint64_t now_us);
+
+  // Demand-arbitration hook, called by the serving scheduler when a batch
+  // wants to launch at `launch_us` on a chip free since `chip_free_us`.
+  // Advances time to the launch moment, runs whatever maintenance the
+  // policy allows, and returns the (possibly delayed) dispatch time
+  // (>= launch_us; == launch_us whenever demand is not delayed).
+  std::uint64_t on_demand(std::uint64_t chip_free_us, std::uint64_t launch_us);
+
+  // Executes every queued action back-to-back starting at the engine's
+  // current virtual time (no demand contention — used at end-of-trace
+  // drains and by tests).
+  void run_pending();
+
+  // Point-in-time condition of all managed units, mirrored to obs gauges
+  // ("maint.health.*") when metrics are enabled.
+  circuit::CrossbarHealth publish_health();
+
+  const MaintenanceConfig& config() const { return cfg_; }
+  MaintenanceStats stats() const;
+  std::size_t pending_actions() const { return queue_.size(); }
+  std::uint64_t now_us() const { return now_us_; }
+  const device::EnduranceTracker& wear(std::size_t unit,
+                                       std::size_t grid) const;
+
+  // FNV-1a digest over the executed action log (kind, unit, grid, tile,
+  // start, cost) — the replay-reproducibility witness.
+  std::uint64_t digest() const { return digest_; }
+
+  // Attribution subtree for this engine's bookkeeping ("chip/maint" by
+  // default; benches label per-policy engines distinctly).
+  void set_obs_label(std::string label) { obs_label_ = std::move(label); }
+
+ private:
+  struct Unit {
+    core::CrossbarExecutor* exec = nullptr;
+    device::RetentionModel retention;
+    circuit::ProgramOptions refresh_opts;
+    std::vector<device::EnduranceTracker> wear;          // per grid
+    std::vector<std::vector<std::uint64_t>> faults_seen; // per grid, per tile
+    double next_scrub_s = 0.0;
+  };
+
+  double device_seconds() const {
+    return static_cast<double>(aged_us_) * cfg_.seconds_per_us;
+  }
+  void step_epoch();
+  void scan_unit(std::size_t u);
+  bool pending(std::size_t u, std::size_t g, std::size_t t,
+               TaskKind k) const;
+  void enqueue(Action a);
+  std::uint64_t tile_cost_us(const Unit& unit, std::size_t g,
+                             std::size_t t) const;
+  // Executes `a` with its chip window starting at `start_us`; returns the
+  // window end.
+  std::uint64_t execute(const Action& a, std::uint64_t start_us);
+  // Runs queued actions that fit entirely inside [from_us, until_us);
+  // returns the time the last one finished (== from_us if none ran).
+  std::uint64_t run_in_gap(std::uint64_t from_us, std::uint64_t until_us);
+
+  MaintenanceConfig cfg_;
+  std::vector<Unit> units_;
+  std::deque<Action> queue_;  // sorted by (due, unit, grid, tile, kind)
+  std::uint64_t now_us_ = 0;
+  std::uint64_t aged_us_ = 0;      // epoch-quantized aging progress
+  std::uint64_t busy_until_us_ = 0;
+  MaintenanceStats stats_;
+  std::uint64_t digest_ = 1469598103934665603ull;  // FNV offset basis
+  std::string obs_label_ = "chip/maint";
+  int trace_pid_ = -1;
+};
+
+}  // namespace reramdl::maint

@@ -78,6 +78,7 @@ Server::Server(const ServingConfig& cfg) : cfg_(cfg) {
   RERAMDL_CHECK_GT(cfg_.max_batch, 0u);
   RERAMDL_CHECK_GT(cfg_.num_chips, 0u);
   chip_free_us_.assign(cfg_.num_chips, 0);
+  maint_.assign(cfg_.num_chips, nullptr);
 }
 
 Server::~Server() = default;
@@ -165,6 +166,11 @@ void Server::drain() { advance(std::numeric_limits<std::uint64_t>::max()); }
 
 void Server::launch(std::size_t tenant, std::uint64_t at_us) {
   Tenant& t = *tenants_[tenant];
+  // Maintenance arbitration: the chip's engine ages its arrays up to the
+  // launch moment and runs whatever repairs its policy allows; the returned
+  // dispatch time reflects any maintenance-imposed delay.
+  if (maint_[t.chip] != nullptr)
+    at_us = maint_[t.chip]->on_demand(chip_free_us_[t.chip], at_us);
   std::vector<Request> batch = t.queue->pop_batch(cfg_.max_batch);
   RERAMDL_CHECK(!batch.empty());
   const std::size_t b = batch.size();
@@ -268,6 +274,17 @@ bool Server::accounting_conserved() const {
 std::uint64_t Server::chip_free_us(std::size_t c) const {
   RERAMDL_CHECK_LT(c, chip_free_us_.size());
   return chip_free_us_[c];
+}
+
+void Server::attach_maintenance(std::size_t chip,
+                                maint::MaintenanceEngine* engine) {
+  RERAMDL_CHECK_LT(chip, maint_.size());
+  maint_[chip] = engine;
+}
+
+core::CrossbarExecutor& Server::tenant_executor(std::size_t tenant) {
+  RERAMDL_CHECK_LT(tenant, tenants_.size());
+  return *tenants_[tenant]->executor;
 }
 
 }  // namespace reramdl::serving

@@ -33,6 +33,7 @@
 
 #include "core/accelerator_config.hpp"
 #include "core/functional.hpp"
+#include "maint/engine.hpp"
 #include "nn/sequential.hpp"
 #include "serving/queue.hpp"
 #include "serving/request.hpp"
@@ -90,6 +91,18 @@ class Server {
   // once traffic has flowed.
   std::uint64_t chip_free_us(std::size_t c) const;
 
+  // Attaches a maintenance engine to chip `c` (DESIGN.md §16): every batch
+  // launch on that chip is routed through engine->on_demand(), so
+  // maintenance ages/repairs the chip's arrays in virtual time and — per
+  // its arbitration policy — may delay the dispatch (the delay lands in
+  // Outcome::dispatch_us, keeping latency accounting faithful). The engine
+  // must outlive the server; pass nullptr to detach.
+  void attach_maintenance(std::size_t chip, maint::MaintenanceEngine* engine);
+
+  // The tenant's crossbar executor, for registering it with a maintenance
+  // engine (MaintenanceEngine::manage).
+  core::CrossbarExecutor& tenant_executor(std::size_t tenant);
+
   const ServingConfig& config() const { return cfg_; }
 
  private:
@@ -102,6 +115,7 @@ class Server {
   ServingConfig cfg_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::vector<std::uint64_t> chip_free_us_;  // per chip
+  std::vector<maint::MaintenanceEngine*> maint_;  // per chip, may be null
 
   std::mutex outcomes_mu_;
   std::vector<Outcome> outcomes_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/chip_sim.hpp"
 #include "common/check.hpp"
 #include "mapping/planner.hpp"
@@ -156,6 +158,31 @@ TEST(ChipSim, InstructionCountMatchesLoweringAnalysis) {
   ASSERT_EQ(r.banks_used, 1u);
   const auto program = lower_forward_pass(f.mapping, f.chip, p.bank[0]);
   EXPECT_EQ(r.instructions, program.size());
+}
+
+TEST(ChipSim, MaintenanceSlotsStretchCriticalPath) {
+  ChipFixture f(workload::spec_alexnet());
+  const Placement p = place_snake(f.mapping, f.chip, f.noc);
+  ChipSimulator sim(f.chip, f.mapping, p);
+  const ChipRunReport base = sim.run_forward_pass();
+  ASSERT_EQ(base.maint_ns, 0.0);  // slots default off: bit-identical
+
+  // Reserve 50 ns of every 200 ns for maintenance: demand only progresses
+  // through the other 150, so the critical bank stretches by one slot per
+  // 150 ns of work and maint_ns accounts for exactly the added time.
+  sim.set_maintenance_slots(200.0, 50.0);
+  const ChipRunReport r = sim.run_forward_pass();
+  EXPECT_DOUBLE_EQ(r.critical_bank_ns, base.critical_bank_ns + r.maint_ns);
+  const double expected_slots = std::floor(base.critical_bank_ns / 150.0);
+  EXPECT_DOUBLE_EQ(r.maint_ns, expected_slots * 50.0);
+  EXPECT_GT(r.maint_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_ns(), r.critical_bank_ns + r.noc_ns);
+
+  // Turning the slots back off restores the baseline exactly.
+  sim.set_maintenance_slots(0.0, 0.0);
+  const ChipRunReport off = sim.run_forward_pass();
+  EXPECT_DOUBLE_EQ(off.critical_bank_ns, base.critical_bank_ns);
+  EXPECT_DOUBLE_EQ(off.maint_ns, 0.0);
 }
 
 }  // namespace

@@ -252,6 +252,23 @@ TEST(Env, IntParsesValidRejectsGarbageAndRange) {
   EXPECT_EQ(env::env_int("RERAMDL_TEST_INT", 7), 7);
 }
 
+TEST(Env, DoubleParsesValidRejectsGarbageAndRange) {
+  setenv("RERAMDL_TEST_DOUBLE", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 0.75);
+  setenv("RERAMDL_TEST_DOUBLE", "2.5e-3", 1);  // scientific notation parses
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 2.5e-3);
+  setenv("RERAMDL_TEST_DOUBLE", "0.5x", 1);  // partial parse -> fallback
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 0.1);
+  setenv("RERAMDL_TEST_DOUBLE", "nan", 1);  // NaN is rejected, not coerced
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 0.1);
+  setenv("RERAMDL_TEST_DOUBLE", "1.5", 1);  // out of [0, 1] -> fallback
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1, 0.0, 1.0), 0.1);
+  setenv("RERAMDL_TEST_DOUBLE", "", 1);  // empty == unset
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 0.1);
+  unsetenv("RERAMDL_TEST_DOUBLE");
+  EXPECT_DOUBLE_EQ(env::env_double("RERAMDL_TEST_DOUBLE", 0.1), 0.1);
+}
+
 TEST(Env, FlagAcceptsDocumentedSpellingsOnly) {
   for (const char* v : {"1", "true", "on"}) {
     setenv("RERAMDL_TEST_FLAG", v, 1);

@@ -320,6 +320,85 @@ def validate_fault_campaign(path, doc):
           f"{len(rates)} rates, recovery bar {doc['recovery_bar']})")
 
 
+def validate_maintenance(path, doc):
+    require(doc.get("schema_version") == 1, path, "bad schema_version")
+    require(isinstance(doc.get("workload"), str), path, "missing workload")
+    require(isinstance(doc.get("quick"), bool), path, "bad quick flag")
+    for key in ("float_acc", "fresh_acc", "retention_bar", "cost_bar"):
+        require(is_num(doc.get(key)), path, f"bad {key}")
+    life = doc.get("lifetime")
+    require(isinstance(life, dict), path, "missing lifetime section")
+    for key in ("epochs", "epoch_us"):
+        require(isinstance(life.get(key), int) and life[key] > 0, path,
+                f"bad lifetime {key}")
+    for key in ("seconds_per_us", "drift_nu", "t0_seconds", "flip_rate",
+                "stuck_rate"):
+        require(is_num(life.get(key)) and life[key] > 0, path,
+                f"bad lifetime {key}")
+    configs = doc.get("configs")
+    require(isinstance(configs, list) and len(configs) >= 2, path,
+            "missing configs")
+    names = [c.get("name") for c in configs]
+    require(names[0] == "off", path, "first config must be 'off'")
+    off_retained = None
+    for c in configs:
+        name = c.get("name")
+        require(isinstance(name, str), path, "config missing name")
+        require(isinstance(c.get("maintenance"), bool), path,
+                f"config {name} bad maintenance flag")
+        for key in ("fresh_acc", "final_acc", "retained", "cost_fraction"):
+            require(is_num(c.get(key)), path, f"config {name} bad {key}")
+        require(0.0 <= c["final_acc"] <= 1.0, path,
+                f"config {name} final_acc out of range")
+        acc = c.get("acc_by_epoch")
+        require(isinstance(acc, list) and len(acc) == life["epochs"], path,
+                f"config {name} acc_by_epoch length mismatch")
+        require(all(is_num(a) and 0.0 <= a <= 1.0 for a in acc), path,
+                f"config {name} bad acc_by_epoch value")
+        for key in ("flips", "refreshes", "scrub_detected", "scrub_repairs",
+                    "rotations", "migrated_tiles", "cells_programmed",
+                    "maint_busy_us", "demand_delay_us", "deadline_misses",
+                    "deferred", "demand_makespan_us", "action_digest",
+                    "output_digest"):
+            require(isinstance(c.get(key), int) and c[key] >= 0, path,
+                    f"config {name} bad {key}")
+        health = c.get("health")
+        require(isinstance(health, dict), path, f"config {name} missing health")
+        for key in ("stuck_cells", "spare_cols_used", "spares_remaining",
+                    "program_passes"):
+            require(isinstance(health.get(key), int) and health[key] >= 0,
+                    path, f"config {name} bad health {key}")
+        for key in ("max_age_s", "min_cumulative_drift"):
+            require(is_num(health.get(key)), path,
+                    f"config {name} bad health {key}")
+        # Re-derive the two headline contracts from the raw numbers rather
+        # than trusting the bench's own checks object.
+        if name == "off":
+            off_retained = c["retained"]
+            require(c["demand_delay_us"] == 0, path,
+                    "off config cannot delay demand")
+        else:
+            require(c["retained"] >= doc["retention_bar"], path,
+                    f"config {name} retained {c['retained']:.4f} below bar")
+            require(c["cost_fraction"] <= doc["cost_bar"], path,
+                    f"config {name} cost {c['cost_fraction']:.4f} above bar")
+            if name == "idle_only":
+                require(c["demand_delay_us"] == 0, path,
+                        "idle_only delayed demand")
+    require(off_retained is not None and off_retained < doc["retention_bar"],
+            path, "maintenance-off run did not collapse below the bar")
+    checks = doc.get("checks")
+    require(isinstance(checks, dict), path, "missing checks")
+    for key in ("off_collapses", "policies_retain", "cost_bounded",
+                "reproducible_across_threads"):
+        require(isinstance(checks.get(key), bool), path, f"bad check {key}")
+    require(all(checks.values()), path,
+            "maintenance contract violated: " + ", ".join(
+                k for k, v in checks.items() if not v))
+    print(f"{path}: maintenance ok ({len(configs)} configs x "
+          f"{life['epochs']} epochs, off retained {off_retained:.3f})")
+
+
 def validate_sparse_mvm(path, doc):
     require(doc.get("schema_version") == 1, path, "bad schema_version")
     require(isinstance(doc.get("workload"), str), path, "missing workload")
@@ -572,6 +651,8 @@ def main(argv):
             validate_run_report_bench(path, doc)
         elif doc.get("bench") == "fault_campaign":
             validate_fault_campaign(path, doc)
+        elif doc.get("bench") == "maintenance":
+            validate_maintenance(path, doc)
         elif doc.get("bench") == "sparse_mvm":
             validate_sparse_mvm(path, doc)
         elif doc.get("bench") == "serving":
